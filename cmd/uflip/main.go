@@ -1,0 +1,196 @@
+// Command uflip runs the uFLIP benchmark — the nine micro-benchmarks of
+// Table 1 — against a simulated flash device, following the full methodology
+// of Section 4: random-state enforcement, start-up/period measurement to set
+// IOIgnore and IOCount, pause determination, and a benchmark plan with
+// disjoint sequential-write target spaces and state resets.
+//
+// Examples:
+//
+//	uflip -device memoright                        # full benchmark
+//	uflip -device kingston-dti -micro Locality,Order
+//	uflip -device mtron -out results/              # JSON + CSV results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"uflip/internal/core"
+	"uflip/internal/methodology"
+	"uflip/internal/profile"
+	"uflip/internal/report"
+	"uflip/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uflip:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		devKey   = flag.String("device", "", "device profile to benchmark (see flashio -list)")
+		capacity = flag.Int64("capacity", 1<<30, "simulated capacity in bytes (scaled-down devices behave identically)")
+		micros   = flag.String("micro", "", "comma-separated micro-benchmarks to run (default: all nine)")
+		ioCount  = flag.Int("iocount", 1024, "base run length before methodology scaling")
+		seed     = flag.Int64("seed", 42, "random seed")
+		outDir   = flag.String("out", "", "directory for JSON/CSV results")
+		verbose  = flag.Bool("v", false, "log each run")
+	)
+	flag.Parse()
+	if *devKey == "" {
+		return fmt.Errorf("pass -device <profile>")
+	}
+	prof, err := profile.ByKey(*devKey)
+	if err != nil {
+		return err
+	}
+	dev, err := prof.BuildWithCapacity(*capacity)
+	if err != nil {
+		return err
+	}
+
+	// Methodology, step 1: enforce the random initial state (Section 4.1).
+	fmt.Printf("== %s (%s)\n", prof.Key, prof.String())
+	fmt.Printf("enforcing random state over %d MB...\n", *capacity>>20)
+	at, err := methodology.EnforceRandomState(dev, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("state enforced in %v of device time\n", at.Round(time.Second))
+
+	// Step 2: measure start-up and running phases (Section 4.2).
+	d := core.StandardDefaults()
+	d.IOCount = *ioCount
+	d.Seed = *seed
+	d.RandomTarget = dev.Capacity() / 2
+	phases, err := methodology.MeasurePhases(dev, d, 4*(*ioCount), at+5*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := report.PhaseTable(phases).Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Step 3: determine the pause between runs (Section 4.3).
+	pauseRep, err := methodology.MeasurePause(dev, d, phases.End+5*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nlingering effect after random writes: %d IOs (%v); pause between runs: %v\n",
+		pauseRep.LingerIOs, pauseRep.LingerTime.Round(time.Millisecond), pauseRep.RecommendedPause)
+
+	// Step 4: build and run the benchmark plan.
+	selected, err := selectMicros(*micros, d, dev.Capacity())
+	if err != nil {
+		return err
+	}
+	var exps []core.Experiment
+	for _, mb := range selected {
+		exps = append(exps, mb.Experiments...)
+	}
+	plan := methodology.BuildPlan(exps, dev.Capacity(), pauseRep.RecommendedPause, phases)
+	fmt.Printf("\nplan: %d runs, %d state resets\n", len(plan.Steps)-plan.Resets, plan.Resets)
+	var progress methodology.ProgressFunc
+	if *verbose {
+		progress = func(step, total int, desc string) {
+			fmt.Printf("  [%d/%d] %s\n", step, total, desc)
+		}
+	}
+	results, err := methodology.RunPlan(dev, plan, pauseRep.End+pauseRep.RecommendedPause, *seed, progress)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchmark complete: %d runs, %v of device time\n\n", len(results.Results), results.Elapsed.Round(time.Second))
+
+	// Summaries per micro-benchmark.
+	for _, mb := range selected {
+		t := &report.Table{
+			Title:   mb.Name + " (" + mb.Description + ")",
+			Headers: []string{"experiment", "mean(ms)", "min(ms)", "max(ms)", "sd(ms)"},
+		}
+		for _, res := range results.Results {
+			if res.Exp.Micro != mb.Name {
+				continue
+			}
+			s := res.Run.Summary
+			t.AddRow(res.Exp.ID(), s.Mean*1e3, s.Min*1e3, s.Max*1e3, s.StdDev*1e3)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	// Key characteristics (the device's Table 3 row), when the needed
+	// micro-benchmarks ran.
+	char := report.Characterize(results, d.IOSize)
+	if err := report.CharacterTable([]report.DeviceCharacter{char}).Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if *outDir != "" {
+		if err := saveResults(*outDir, prof.Key, results); err != nil {
+			return err
+		}
+		fmt.Printf("\nresults written under %s\n", *outDir)
+	}
+	return nil
+}
+
+func selectMicros(csvList string, d core.Defaults, capacity int64) ([]core.Microbenchmark, error) {
+	all := core.AllMicrobenchmarks(d, capacity)
+	if csvList == "" {
+		return all, nil
+	}
+	byName := make(map[string]core.Microbenchmark, len(all))
+	var names []string
+	for _, mb := range all {
+		byName[strings.ToLower(mb.Name)] = mb
+		names = append(names, mb.Name)
+	}
+	var out []core.Microbenchmark
+	for _, want := range strings.Split(csvList, ",") {
+		mb, ok := byName[strings.ToLower(strings.TrimSpace(want))]
+		if !ok {
+			return nil, fmt.Errorf("unknown micro-benchmark %q (known: %s)", want, strings.Join(names, ", "))
+		}
+		out = append(out, mb)
+	}
+	return out, nil
+}
+
+func saveResults(dir, devKey string, results *methodology.Results) error {
+	records := make([]trace.RunRecord, 0, len(results.Results))
+	for _, res := range results.Results {
+		rec := trace.RunRecord{
+			ID:           res.Exp.ID(),
+			Device:       results.Device,
+			Micro:        res.Exp.Micro,
+			Base:         res.Exp.Base.String(),
+			Param:        res.Exp.Param,
+			Value:        res.Exp.Value,
+			IOIgnore:     res.Run.IOIgnore,
+			Summary:      res.Run.Summary,
+			TotalSeconds: res.Run.Total.Seconds(),
+		}
+		rec.SetResponseTimes(res.Run.RTs)
+		records = append(records, rec)
+	}
+	if err := trace.SaveJSON(filepath.Join(dir, devKey+".jsonl"), records); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, devKey+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteSummaryCSV(f, records)
+}

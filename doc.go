@@ -1,0 +1,13 @@
+// Package uflip is a from-scratch Go reproduction of "uFLIP: Understanding
+// Flash IO Patterns" (Bouganim, Jónsson, Bonnet, CIDR 2009): the uFLIP
+// benchmark (IO patterns, nine micro-benchmarks), its benchmarking
+// methodology (device state enforcement, the start-up/running two-phase
+// model, pause determination, benchmark plans), and a full flash device
+// simulator (NAND chips, flash translation layers, write buffers,
+// interconnect) calibrated to the paper's eleven devices.
+//
+// The implementation lives under internal/; see the README for the layout,
+// cmd/ for the executables, examples/ for runnable walk-throughs, and
+// bench_test.go in this directory for the benchmark harness that regenerates
+// every table and figure of the paper's evaluation.
+package uflip

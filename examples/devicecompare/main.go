@@ -1,0 +1,59 @@
+// Devicecompare measures the key characteristics (the paper's Table 3 row)
+// of several devices side by side and prints the resulting classification —
+// the workflow a systems designer would follow before choosing a flash
+// device, since, as Section 5.3 notes, price is not always indicative of
+// performance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"uflip/internal/paperexp"
+	"uflip/internal/report"
+)
+
+func main() {
+	devices := flag.String("devices", "memoright,samsung,kingston-dti", "comma-separated device profiles to compare")
+	capacity := flag.Int64("capacity", 512<<20, "simulated capacity per device")
+	flag.Parse()
+
+	cfg := paperexp.DefaultConfig()
+	cfg.Capacity = *capacity
+
+	var chars []report.DeviceCharacter
+	for _, key := range strings.Split(*devices, ",") {
+		key = strings.TrimSpace(key)
+		fmt.Fprintf(os.Stderr, "measuring %s (state enforcement + ~50 experiments)...\n", key)
+		dev, at, err := paperexp.Prepare(key, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, _, err := paperexp.Table3Row(dev, at, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chars = append(chars, c)
+	}
+
+	fmt.Println()
+	if err := report.CharacterTable(chars).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// A coarse classification in the spirit of Section 5.3.
+	fmt.Println()
+	for _, c := range chars {
+		class := "low-end (avoid random writes entirely; work sequentially)"
+		switch {
+		case c.RWms < 10:
+			class = "high-end (random writes workable; still prefer 4-16 MB focus areas)"
+		case c.RWms < 40:
+			class = "mid-range (random writes costly; confine them to the locality area)"
+		}
+		fmt.Printf("%-18s RW/SW = %5.1fx  -> %s\n", c.Device, c.RWms/c.SWms, class)
+	}
+}

@@ -1,0 +1,64 @@
+// Statefulness reproduces the Section 4.1 anomaly that motivates the uFLIP
+// methodology: out of the box, the Samsung SSD services 32 KB random writes
+// an order of magnitude faster than after the whole device has been written
+// once — because an empty translation map makes every write a cheap append,
+// while a full map forces read-modify-write merges. Benchmarking without
+// controlling the device state therefore produces meaningless numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"uflip/internal/core"
+	"uflip/internal/methodology"
+	"uflip/internal/profile"
+)
+
+func main() {
+	prof, err := profile.ByKey("samsung")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const capacity = 512 << 20
+
+	d := core.StandardDefaults()
+	d.RandomTarget = capacity / 2
+	rw := core.RW.Pattern(d)
+
+	// Measurement 1: fresh from the factory.
+	fresh, err := prof.BuildWithCapacity(capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	freshRun, err := core.ExecutePattern(fresh, rw, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measurement 2: identical workload, after writing the whole device.
+	used, err := prof.BuildWithCapacity(capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	at, err := methodology.EnforceRandomState(used, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	usedRun, err := core.ExecutePattern(used, rw, at+5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	freshMS := freshRun.Summary.Mean * 1e3
+	usedMS := usedRun.Summary.Mean * 1e3
+	fmt.Printf("32 KB random writes on %s:\n", prof)
+	fmt.Printf("  out of the box:            %6.2f ms\n", freshMS)
+	fmt.Printf("  after writing whole device: %5.2f ms  (%.1fx slower)\n", usedMS, usedMS/freshMS)
+	fmt.Println()
+	fmt.Println("The paper observed ~1 ms vs ~8+ ms on the real device; the uFLIP")
+	fmt.Println("methodology therefore enforces a random initial state before every")
+	fmt.Println("benchmark, and this simulator reproduces why: a fresh translation")
+	fmt.Println("map turns every write into an append with nothing to merge.")
+}

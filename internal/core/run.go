@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"uflip/internal/device"
+	"uflip/internal/stats"
+)
+
+// Run is the result of executing a reference pattern against a device once
+// (design principle 1 of Section 3.2): the per-IO response times plus the
+// summary statistics computed over the running phase (IOIgnore onward).
+type Run struct {
+	// Name echoes the pattern (or mix) that produced the run.
+	Name string
+	// Device is the name of the device measured.
+	Device string
+	// RTs holds every IO's response time, including the warm-up prefix.
+	RTs []time.Duration
+	// SubmitTimes holds every IO's submission time (run-relative).
+	SubmitTimes []time.Duration
+	// IOIgnore is how many leading IOs the summary excludes.
+	IOIgnore int
+	// Summary covers RTs[IOIgnore:].
+	Summary stats.Summary
+	// Total is the run's end-to-end duration (submission of the first IO
+	// to completion of the last), which the Pause micro-benchmark uses to
+	// check that pauses do not change total workload time.
+	Total time.Duration
+}
+
+// MeasuredRTs returns the response times of the running phase.
+func (r *Run) MeasuredRTs() []time.Duration { return r.RTs[r.IOIgnore:] }
+
+// Mean returns the running-phase mean response time.
+func (r *Run) Mean() time.Duration {
+	return time.Duration(r.Summary.Mean * float64(time.Second))
+}
+
+// Timing controls the time dimension of a run: consecutive when Pause is
+// zero; pause(Pause) when Burst <= 1; burst(Pause, Burst) otherwise.
+type Timing struct {
+	Pause time.Duration
+	Burst int
+}
+
+// gapBefore returns the pause inserted before submitting IO i (i > 0).
+func (t Timing) gapBefore(i int) time.Duration {
+	if t.Pause == 0 {
+		return 0
+	}
+	if t.Burst <= 1 {
+		return t.Pause
+	}
+	if i%t.Burst == 0 {
+		return t.Pause
+	}
+	return 0
+}
+
+// Execute runs count IOs from src against dev starting at virtual time
+// startAt, measuring each IO individually.
+func Execute(dev device.Device, src IOSource, count, ignore int, timing Timing, startAt time.Duration) (*Run, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("core: IOCount must be positive, got %d", count)
+	}
+	if ignore < 0 || ignore >= count {
+		return nil, fmt.Errorf("core: IOIgnore %d out of range for IOCount %d", ignore, count)
+	}
+	run := &Run{
+		Device:      dev.Name(),
+		RTs:         make([]time.Duration, 0, count),
+		SubmitTimes: make([]time.Duration, 0, count),
+		IOIgnore:    ignore,
+	}
+	t := startAt
+	var acc stats.Running
+	for i := 0; i < count; i++ {
+		io, ok := src.Next()
+		if !ok {
+			break
+		}
+		if i > 0 {
+			t += timing.gapBefore(i)
+		}
+		done, err := dev.Submit(t, io)
+		if err != nil {
+			return nil, fmt.Errorf("core: IO %d (%s off=%d size=%d): %w", i, io.Mode, io.Off, io.Size, err)
+		}
+		rt := done - t
+		run.RTs = append(run.RTs, rt)
+		run.SubmitTimes = append(run.SubmitTimes, t)
+		if i >= ignore {
+			acc.AddDuration(rt)
+		}
+		t = done
+	}
+	if len(run.RTs) == 0 {
+		return nil, fmt.Errorf("core: source produced no IOs")
+	}
+	if ignore >= len(run.RTs) {
+		run.IOIgnore = 0
+		acc = stats.Running{}
+		for _, rt := range run.RTs {
+			acc.AddDuration(rt)
+		}
+	}
+	run.Summary = acc.Summary()
+	run.Total = t - startAt
+	return run, nil
+}
+
+// ExecutePattern validates and runs a single pattern.
+func ExecutePattern(dev device.Device, p Pattern, startAt time.Duration) (*Run, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	run, err := Execute(dev, p.Source(), p.IOCount, p.IOIgnore, Timing{Pause: p.Pause, Burst: p.Burst}, startAt)
+	if err != nil {
+		return nil, err
+	}
+	run.Name = p.Name
+	return run, nil
+}
+
+// ExecuteParallel replicates a pattern over degree concurrent processes
+// (Section 3.1, parallel patterns): the target space is divided into degree
+// subsets, each accessed by one process running the same baseline pattern.
+// The processes share the device, which serializes them; each process's next
+// IO is submitted as soon as its previous IO completes. Response times of
+// all processes are reported in global submission order.
+func ExecuteParallel(dev device.Device, p Pattern, degree int, startAt time.Duration) (*Run, error) {
+	if degree < 1 {
+		return nil, fmt.Errorf("core: parallel degree must be >= 1, got %d", degree)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Split the target: TargetOffset_p = p*TargetSize/degree,
+	// TargetSize_p = TargetSize/degree (Table 1, Parallelism row).
+	subSize := p.TargetSize / int64(degree)
+	subSize -= subSize % p.IOSize
+	if subSize < p.IOSize {
+		return nil, fmt.Errorf("core: target %d too small for %d-way parallelism at IOSize %d", p.TargetSize, degree, p.IOSize)
+	}
+	perProc := p.IOCount / degree
+	if perProc < 1 {
+		return nil, fmt.Errorf("core: IOCount %d too small for %d processes", p.IOCount, degree)
+	}
+	type proc struct {
+		src    IOSource
+		next   time.Duration
+		issued int
+	}
+	procs := make([]*proc, degree)
+	for i := range procs {
+		sub := p
+		sub.TargetOffset = p.TargetOffset + int64(i)*subSize
+		sub.TargetSize = subSize
+		sub.IOCount = perProc
+		sub.Seed = p.Seed + int64(i)*7919
+		if err := sub.Validate(); err != nil {
+			return nil, err
+		}
+		procs[i] = &proc{src: sub.Source(), next: startAt}
+	}
+	run := &Run{
+		Name:     fmt.Sprintf("%s||%d", p.Name, degree),
+		Device:   dev.Name(),
+		IOIgnore: p.IOIgnore,
+	}
+	timing := Timing{Pause: p.Pause, Burst: p.Burst}
+	var acc stats.Running
+	total := 0
+	for {
+		// Earliest-submission process goes next; ties resolved by index
+		// for determinism.
+		var pick *proc
+		for _, pr := range procs {
+			if pr.issued >= perProc {
+				continue
+			}
+			if pick == nil || pr.next < pick.next {
+				pick = pr
+			}
+		}
+		if pick == nil {
+			break
+		}
+		io, ok := pick.src.Next()
+		if !ok {
+			pick.issued = perProc
+			continue
+		}
+		t := pick.next
+		done, err := dev.Submit(t, io)
+		if err != nil {
+			return nil, fmt.Errorf("core: parallel IO %d: %w", total, err)
+		}
+		rt := done - t
+		run.RTs = append(run.RTs, rt)
+		run.SubmitTimes = append(run.SubmitTimes, t)
+		if total >= p.IOIgnore {
+			acc.AddDuration(rt)
+		}
+		pick.issued++
+		pick.next = done + timing.gapBefore(pick.issued)
+		total++
+		if run.Total < done-startAt {
+			run.Total = done - startAt
+		}
+	}
+	if len(run.RTs) == 0 {
+		return nil, fmt.Errorf("core: parallel run produced no IOs")
+	}
+	run.Summary = acc.Summary()
+	return run, nil
+}
+
+// ExecuteMix runs two patterns interleaved with the given ratio (Ratio IOs
+// of a per IO of b). Per the methodology, the run length is scaled so the
+// minority pattern still receives enough IOs.
+func ExecuteMix(dev device.Device, a, b Pattern, ratio int, startAt time.Duration) (*Run, error) {
+	if ratio < 1 {
+		return nil, fmt.Errorf("core: mix ratio must be >= 1, got %d", ratio)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("core: mix pattern #1: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("core: mix pattern #2: %w", err)
+	}
+	src := NewMixSource(a.Source(), b.Source(), ratio)
+	count := a.IOCount + b.IOCount
+	if count > a.IOCount*(ratio+1)/ratio {
+		count = a.IOCount * (ratio + 1) / ratio
+	}
+	ignore := a.IOIgnore * (ratio + 1) / ratio
+	if ignore >= count {
+		ignore = count / 4
+	}
+	run, err := Execute(dev, src, count, ignore, Timing{Pause: a.Pause, Burst: a.Burst}, startAt)
+	if err != nil {
+		return nil, err
+	}
+	run.Name = fmt.Sprintf("%s/%s ratio=%d", a.Name, b.Name, ratio)
+	return run, nil
+}

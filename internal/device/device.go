@@ -1,0 +1,74 @@
+// Package device defines the block-device abstraction the uFLIP benchmark
+// drives, and provides three implementations: SimDevice (a full flash device
+// simulator: interconnect + controller RAM + flash translation layer + NAND
+// chips), MemDevice (a constant-latency toy for tests), and FileDevice (a
+// real file or block special, measured with the wall clock).
+//
+// Devices are driven in virtual time: the caller submits each IO with its
+// submission timestamp (run-relative), and the device returns the completion
+// timestamp. Response time is completion minus submission. This mirrors how
+// the paper's FlashIO tool measures each IO individually, but with perfectly
+// repeatable results for simulated devices.
+package device
+
+import (
+	"errors"
+	"time"
+)
+
+// Mode is the IO mode attribute of Section 3.1: read or write.
+type Mode int
+
+const (
+	// Read is a read IO.
+	Read Mode = iota
+	// Write is a write IO.
+	Write
+)
+
+// String returns "R" or "W".
+func (m Mode) String() string {
+	if m == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// IO is one request: a mode, a byte offset (the LBA attribute scaled to
+// bytes) and a size.
+type IO struct {
+	Mode Mode
+	Off  int64
+	Size int64
+}
+
+// Errors returned by devices.
+var (
+	ErrOutOfRange = errors.New("device: IO beyond device capacity")
+	ErrClosed     = errors.New("device: closed")
+)
+
+// Device is a block device measured in virtual (run-relative) time.
+//
+// Submit services one IO submitted at time `at` and returns its completion
+// time; at must be non-decreasing across calls except through independent
+// processes coordinated by the parallel runner, which still submits in
+// global time order. Implementations may queue: completion-at is at least
+// `at` plus the service time, later if the device was busy.
+type Device interface {
+	Submit(at time.Duration, io IO) (time.Duration, error)
+	// Capacity returns the device's logical size in bytes.
+	Capacity() int64
+	// SectorSize returns the addressing granularity in bytes (512 for
+	// every device in the paper).
+	SectorSize() int
+	// Name identifies the device in reports.
+	Name() string
+}
+
+func checkIO(io IO, capacity int64) error {
+	if io.Off < 0 || io.Size < 0 || io.Off+io.Size > capacity {
+		return ErrOutOfRange
+	}
+	return nil
+}

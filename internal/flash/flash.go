@@ -1,0 +1,393 @@
+// Package flash models NAND flash chips at the level of detail Section 2.1 of
+// the uFLIP paper describes: independent arrays of cells (flash blocks) made
+// of rows (flash pages), read/program/erase as the basic operations, pages
+// programmed sequentially within a block to limit write errors, erase only at
+// block granularity, a bounded erase budget per block (smaller for MLC than
+// SLC), wear tracking and bad-block marking, two planes (even/odd blocks)
+// that can operate concurrently, and an optional page register cache.
+//
+// The chip does not store payload data by default — the simulator is about
+// timing, and a 32 GB device would need 32 GB of RAM — but payload storage
+// can be enabled for integrity testing on small chips.
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// CellType distinguishes single- and multi-level cell chips (Section 2.1).
+type CellType int
+
+const (
+	// SLC stores one bit per cell: faster, ~10^6 erases per block.
+	SLC CellType = iota
+	// MLC stores two or more bits per cell: denser, slower, ~10^5 erases.
+	MLC
+)
+
+// String returns "SLC" or "MLC".
+func (c CellType) String() string {
+	if c == SLC {
+		return "SLC"
+	}
+	return "MLC"
+}
+
+// EraseLimit returns the nominal erase budget per block for the cell type.
+func (c CellType) EraseLimit() int {
+	if c == SLC {
+		return 1_000_000
+	}
+	return 100_000
+}
+
+// Geometry describes the physical layout of one chip.
+type Geometry struct {
+	PageSize      int // data bytes per flash page (typically 2048)
+	OOBSize       int // out-of-band bytes per page for ECC/bookkeeping (typically 64)
+	PagesPerBlock int // typically 64
+	Blocks        int // total flash blocks on the chip (across planes)
+	Planes        int // 1 or 2; with 2, even blocks are plane 0, odd plane 1
+}
+
+// Validate reports whether the geometry is internally consistent.
+func (g Geometry) Validate() error {
+	switch {
+	case g.PageSize <= 0:
+		return fmt.Errorf("flash: PageSize %d must be positive", g.PageSize)
+	case g.PagesPerBlock <= 0:
+		return fmt.Errorf("flash: PagesPerBlock %d must be positive", g.PagesPerBlock)
+	case g.Blocks <= 0:
+		return fmt.Errorf("flash: Blocks %d must be positive", g.Blocks)
+	case g.Planes != 1 && g.Planes != 2:
+		return fmt.Errorf("flash: Planes %d must be 1 or 2", g.Planes)
+	case g.OOBSize < 0:
+		return fmt.Errorf("flash: OOBSize %d must be non-negative", g.OOBSize)
+	}
+	return nil
+}
+
+// BlockSize returns the data capacity of one flash block in bytes.
+func (g Geometry) BlockSize() int { return g.PageSize * g.PagesPerBlock }
+
+// Capacity returns the data capacity of the chip in bytes.
+func (g Geometry) Capacity() int64 { return int64(g.BlockSize()) * int64(g.Blocks) }
+
+// Plane returns the plane a block belongs to (even blocks plane 0, odd 1).
+func (g Geometry) Plane(block int) int {
+	if g.Planes == 1 {
+		return 0
+	}
+	return block % 2
+}
+
+// Timing holds the latencies of the three basic chip operations plus the
+// per-byte transfer cost between the page register and the controller.
+type Timing struct {
+	ReadPage    time.Duration // cell array -> page register
+	ProgramPage time.Duration // page register -> cell array
+	EraseBlock  time.Duration
+	PerByte     time.Duration // register <-> controller transfer, per byte
+}
+
+// TypicalTiming returns datasheet-representative timings for the cell type
+// (2008-era chips: SLC ~25us read, ~200us program, ~1.5ms erase; MLC ~50us
+// read, ~800us program, ~3ms erase; ~25ns/byte transfer).
+func TypicalTiming(c CellType) Timing {
+	if c == SLC {
+		return Timing{
+			ReadPage:    25 * time.Microsecond,
+			ProgramPage: 200 * time.Microsecond,
+			EraseBlock:  1500 * time.Microsecond,
+			PerByte:     25 * time.Nanosecond,
+		}
+	}
+	return Timing{
+		ReadPage:    50 * time.Microsecond,
+		ProgramPage: 800 * time.Microsecond,
+		EraseBlock:  3 * time.Millisecond,
+		PerByte:     25 * time.Nanosecond,
+	}
+}
+
+// Errors returned by chip operations.
+var (
+	ErrBadBlock       = errors.New("flash: block is marked bad")
+	ErrWornOut        = errors.New("flash: block exceeded its erase budget")
+	ErrNotErased      = errors.New("flash: programming a page that is not erased")
+	ErrOutOfOrder     = errors.New("flash: pages must be programmed sequentially within a block")
+	ErrOutOfRange     = errors.New("flash: address out of range")
+	ErrReadErased     = errors.New("flash: reading an erased page")
+	ErrDataDisabled   = errors.New("flash: payload storage is disabled on this chip")
+	ErrBadGeometry    = errors.New("flash: invalid geometry")
+	ErrPayloadTooLong = errors.New("flash: payload longer than page size")
+)
+
+// PageState tracks what the chip knows about a page. (Validity of the data —
+// live vs obsolete — is the FTL's concern, not the chip's.)
+type PageState uint8
+
+const (
+	// PageErased means the page holds all-ones and may be programmed.
+	PageErased PageState = iota
+	// PageProgrammed means the page holds data.
+	PageProgrammed
+)
+
+type blockState struct {
+	eraseCount int
+	nextPage   int // next programmable page index (sequential constraint)
+	bad        bool
+	pages      []PageState
+}
+
+// Stats aggregates chip-level counters, useful for wear-leveling tests and
+// for verifying that the FTL issues the operations the cost model charges.
+type Stats struct {
+	Reads    int64
+	Programs int64
+	Erases   int64
+}
+
+// Chip is one simulated NAND flash chip. It is not safe for concurrent use;
+// the device serializes access, which also reflects how a single chip behaves
+// behind its controller.
+type Chip struct {
+	geo    Geometry
+	timing Timing
+	cell   CellType
+
+	blocks []blockState
+	stats  Stats
+
+	// cachedBlock/cachedPage track the page currently held in the page
+	// register of each plane; re-reading it skips the cell-array read.
+	cachedBlock []int
+	cachedPage  []int
+
+	// data holds page payloads when storeData is enabled.
+	storeData bool
+	data      map[int64][]byte // key: global page index
+}
+
+// Option configures a Chip at construction time.
+type Option func(*Chip)
+
+// WithDataStorage enables payload storage so tests can verify read-after-
+// write integrity. Only sensible for small chips.
+func WithDataStorage() Option {
+	return func(c *Chip) {
+		c.storeData = true
+		c.data = make(map[int64][]byte)
+	}
+}
+
+// WithTiming overrides the default (datasheet-typical) timing.
+func WithTiming(t Timing) Option {
+	return func(c *Chip) { c.timing = t }
+}
+
+// NewChip builds a chip with the given geometry and cell type, fully erased.
+func NewChip(geo Geometry, cell CellType, opts ...Option) (*Chip, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Chip{
+		geo:         geo,
+		timing:      TypicalTiming(cell),
+		cell:        cell,
+		blocks:      make([]blockState, geo.Blocks),
+		cachedBlock: make([]int, geo.Planes),
+		cachedPage:  make([]int, geo.Planes),
+	}
+	for p := 0; p < geo.Planes; p++ {
+		c.cachedBlock[p] = -1
+		c.cachedPage[p] = -1
+	}
+	for i := range c.blocks {
+		c.blocks[i].pages = make([]PageState, geo.PagesPerBlock)
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Geometry returns the chip geometry.
+func (c *Chip) Geometry() Geometry { return c.geo }
+
+// Cell returns the chip's cell type.
+func (c *Chip) Cell() CellType { return c.cell }
+
+// Timing returns the chip's operation timings.
+func (c *Chip) Timing() Timing { return c.timing }
+
+// Stats returns a snapshot of the operation counters.
+func (c *Chip) Stats() Stats { return c.stats }
+
+// EraseCount returns the number of erase cycles block has endured.
+func (c *Chip) EraseCount(block int) (int, error) {
+	if block < 0 || block >= c.geo.Blocks {
+		return 0, ErrOutOfRange
+	}
+	return c.blocks[block].eraseCount, nil
+}
+
+// IsBad reports whether a block has been marked bad (worn out or via MarkBad).
+func (c *Chip) IsBad(block int) bool {
+	if block < 0 || block >= c.geo.Blocks {
+		return true
+	}
+	return c.blocks[block].bad
+}
+
+// MarkBad marks a block bad, as a block manager does when it detects
+// uncorrectable errors.
+func (c *Chip) MarkBad(block int) error {
+	if block < 0 || block >= c.geo.Blocks {
+		return ErrOutOfRange
+	}
+	c.blocks[block].bad = true
+	return nil
+}
+
+// PageStateAt returns the state of the page for inspection in tests.
+func (c *Chip) PageStateAt(block, page int) (PageState, error) {
+	if err := c.checkAddr(block, page); err != nil {
+		return 0, err
+	}
+	return c.blocks[block].pages[page], nil
+}
+
+// NextProgramPage returns the next page index that may be programmed in the
+// block under the sequential-programming constraint, or PagesPerBlock if the
+// block is full.
+func (c *Chip) NextProgramPage(block int) (int, error) {
+	if block < 0 || block >= c.geo.Blocks {
+		return 0, ErrOutOfRange
+	}
+	return c.blocks[block].nextPage, nil
+}
+
+func (c *Chip) checkAddr(block, page int) error {
+	if block < 0 || block >= c.geo.Blocks || page < 0 || page >= c.geo.PagesPerBlock {
+		return ErrOutOfRange
+	}
+	return nil
+}
+
+func (c *Chip) pageIndex(block, page int) int64 {
+	return int64(block)*int64(c.geo.PagesPerBlock) + int64(page)
+}
+
+// ReadPage reads one page into the plane's page register and transfers it to
+// the controller, returning the operation's duration. Reading the page
+// already held in the register skips the cell-array read (the page-cache
+// effect Section 2.1 mentions).
+func (c *Chip) ReadPage(block, page int) (time.Duration, error) {
+	if err := c.checkAddr(block, page); err != nil {
+		return 0, err
+	}
+	b := &c.blocks[block]
+	if b.bad {
+		return 0, ErrBadBlock
+	}
+	if b.pages[page] != PageProgrammed {
+		return 0, ErrReadErased
+	}
+	c.stats.Reads++
+	plane := c.geo.Plane(block)
+	var d time.Duration
+	if c.cachedBlock[plane] != block || c.cachedPage[plane] != page {
+		d += c.timing.ReadPage
+		c.cachedBlock[plane] = block
+		c.cachedPage[plane] = page
+	}
+	d += time.Duration(c.geo.PageSize+c.geo.OOBSize) * c.timing.PerByte
+	return d, nil
+}
+
+// ReadData returns the payload of a page; requires WithDataStorage.
+func (c *Chip) ReadData(block, page int) ([]byte, error) {
+	if !c.storeData {
+		return nil, ErrDataDisabled
+	}
+	if err := c.checkAddr(block, page); err != nil {
+		return nil, err
+	}
+	if c.blocks[block].pages[page] != PageProgrammed {
+		return nil, ErrReadErased
+	}
+	return c.data[c.pageIndex(block, page)], nil
+}
+
+// ProgramPage programs one page, enforcing that the page is erased and that
+// pages within a block are programmed in order. payload may be nil; when the
+// chip stores data, the payload (up to PageSize bytes) is retained.
+func (c *Chip) ProgramPage(block, page int, payload []byte) (time.Duration, error) {
+	if err := c.checkAddr(block, page); err != nil {
+		return 0, err
+	}
+	b := &c.blocks[block]
+	if b.bad {
+		return 0, ErrBadBlock
+	}
+	if b.pages[page] != PageErased {
+		return 0, ErrNotErased
+	}
+	if page != b.nextPage {
+		return 0, ErrOutOfOrder
+	}
+	if len(payload) > c.geo.PageSize {
+		return 0, ErrPayloadTooLong
+	}
+	b.pages[page] = PageProgrammed
+	b.nextPage++
+	c.stats.Programs++
+	if c.storeData {
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		c.data[c.pageIndex(block, page)] = buf
+	}
+	// Invalidate the register if it held a page of this plane.
+	plane := c.geo.Plane(block)
+	c.cachedBlock[plane], c.cachedPage[plane] = -1, -1
+	d := time.Duration(c.geo.PageSize+c.geo.OOBSize)*c.timing.PerByte + c.timing.ProgramPage
+	return d, nil
+}
+
+// EraseBlock erases a block, returning it to the all-erased state. When the
+// erase budget for the cell type is exceeded the block is marked bad and
+// ErrWornOut is returned.
+func (c *Chip) EraseBlock(block int) (time.Duration, error) {
+	if block < 0 || block >= c.geo.Blocks {
+		return 0, ErrOutOfRange
+	}
+	b := &c.blocks[block]
+	if b.bad {
+		return 0, ErrBadBlock
+	}
+	b.eraseCount++
+	c.stats.Erases++
+	if b.eraseCount > c.cell.EraseLimit() {
+		b.bad = true
+		return c.timing.EraseBlock, ErrWornOut
+	}
+	for i := range b.pages {
+		b.pages[i] = PageErased
+	}
+	b.nextPage = 0
+	if c.storeData {
+		base := c.pageIndex(block, 0)
+		for i := 0; i < c.geo.PagesPerBlock; i++ {
+			delete(c.data, base+int64(i))
+		}
+	}
+	plane := c.geo.Plane(block)
+	if c.cachedBlock[plane] == block {
+		c.cachedBlock[plane], c.cachedPage[plane] = -1, -1
+	}
+	return c.timing.EraseBlock, nil
+}

@@ -1,0 +1,157 @@
+package ftl
+
+import (
+	"fmt"
+
+	"uflip/internal/flash"
+)
+
+// Array presents a set of identical flash chips as one pool of globally
+// numbered flash blocks. Global block g lives on chip g / blocksPerChip.
+// Interleaving logical data across chips is the FTL's job; the array only
+// provides addressing and state operations. Timing is handled by the
+// CostModel, so the durations returned by the chips are discarded here —
+// the chips are kept honest about *state* (sequential programming, erase
+// budgets), not timing.
+type Array struct {
+	chips         []*flash.Chip
+	geo           flash.Geometry
+	blocksPerChip int
+}
+
+// NewArray builds an array over chips, which must share one geometry.
+func NewArray(chips []*flash.Chip) (*Array, error) {
+	if len(chips) == 0 {
+		return nil, fmt.Errorf("ftl: array needs at least one chip")
+	}
+	geo := chips[0].Geometry()
+	for i, c := range chips {
+		if c.Geometry() != geo {
+			return nil, fmt.Errorf("ftl: chip %d geometry differs from chip 0", i)
+		}
+	}
+	return &Array{chips: chips, geo: geo, blocksPerChip: geo.Blocks}, nil
+}
+
+// NewUniformArray is a convenience constructor building nChips identical
+// chips of the given cell type sized so the array totals at least
+// capacityBytes of raw flash.
+func NewUniformArray(nChips int, cell flash.CellType, capacityBytes int64, opts ...flash.Option) (*Array, error) {
+	if nChips <= 0 {
+		return nil, fmt.Errorf("ftl: nChips must be positive, got %d", nChips)
+	}
+	geo := flash.Geometry{
+		PageSize:      2048,
+		OOBSize:       64,
+		PagesPerBlock: 64,
+		Planes:        2,
+	}
+	blockSize := int64(geo.BlockSize())
+	perChip := (capacityBytes + int64(nChips)*blockSize - 1) / (int64(nChips) * blockSize)
+	if perChip < 2 {
+		perChip = 2
+	}
+	if geo.Planes == 2 && perChip%2 == 1 {
+		perChip++ // keep planes balanced
+	}
+	geo.Blocks = int(perChip)
+	chips := make([]*flash.Chip, nChips)
+	for i := range chips {
+		c, err := flash.NewChip(geo, cell, opts...)
+		if err != nil {
+			return nil, err
+		}
+		chips[i] = c
+	}
+	return NewArray(chips)
+}
+
+// Geometry returns the shared per-chip geometry.
+func (a *Array) Geometry() flash.Geometry { return a.geo }
+
+// Chips returns the number of chips (the channel-parallelism bound).
+func (a *Array) Chips() int { return len(a.chips) }
+
+// Blocks returns the total number of flash blocks across all chips.
+func (a *Array) Blocks() int { return a.blocksPerChip * len(a.chips) }
+
+// RawCapacity returns total raw flash bytes across the array.
+func (a *Array) RawCapacity() int64 {
+	return int64(a.Blocks()) * int64(a.geo.BlockSize())
+}
+
+func (a *Array) locate(gb int) (*flash.Chip, int, error) {
+	if gb < 0 || gb >= a.Blocks() {
+		return nil, 0, flash.ErrOutOfRange
+	}
+	return a.chips[gb/a.blocksPerChip], gb % a.blocksPerChip, nil
+}
+
+// ReadPage reads one page of global block gb.
+func (a *Array) ReadPage(gb, page int) error {
+	c, lb, err := a.locate(gb)
+	if err != nil {
+		return err
+	}
+	_, err = c.ReadPage(lb, page)
+	return err
+}
+
+// ProgramPage programs one page of global block gb.
+func (a *Array) ProgramPage(gb, page int) error {
+	c, lb, err := a.locate(gb)
+	if err != nil {
+		return err
+	}
+	_, err = c.ProgramPage(lb, page, nil)
+	return err
+}
+
+// EraseBlock erases global block gb.
+func (a *Array) EraseBlock(gb int) error {
+	c, lb, err := a.locate(gb)
+	if err != nil {
+		return err
+	}
+	_, err = c.EraseBlock(lb)
+	return err
+}
+
+// NextProgramPage returns the sequential-programming cursor of block gb.
+func (a *Array) NextProgramPage(gb int) (int, error) {
+	c, lb, err := a.locate(gb)
+	if err != nil {
+		return 0, err
+	}
+	return c.NextProgramPage(lb)
+}
+
+// EraseCount returns the wear counter of block gb.
+func (a *Array) EraseCount(gb int) (int, error) {
+	c, lb, err := a.locate(gb)
+	if err != nil {
+		return 0, err
+	}
+	return c.EraseCount(lb)
+}
+
+// IsBad reports whether block gb is unusable.
+func (a *Array) IsBad(gb int) bool {
+	c, lb, err := a.locate(gb)
+	if err != nil {
+		return true
+	}
+	return c.IsBad(lb)
+}
+
+// Stats sums the operation counters of all chips.
+func (a *Array) Stats() flash.Stats {
+	var s flash.Stats
+	for _, c := range a.chips {
+		cs := c.Stats()
+		s.Reads += cs.Reads
+		s.Programs += cs.Programs
+		s.Erases += cs.Erases
+	}
+	return s
+}

@@ -1,0 +1,379 @@
+package ftl
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// BlockConfig configures a BlockFTL.
+type BlockConfig struct {
+	// LogicalBytes is the capacity exposed to the host. The array must
+	// provide at least LogicalBytes/blockSize + LogBlocks + 2 blocks.
+	LogicalBytes int64
+	// LogBlocks is the number of replacement (log) blocks available
+	// concurrently. Sequential streams beyond this count evict each
+	// other's logs and pay a full merge per IO — the Partitioning cliff.
+	LogBlocks int
+	// MapDirtyLimit and MapUnitsPerPage model the on-flash map
+	// bookkeeping exactly as in PageConfig (entries here are per logical
+	// block, so one map page covers a large span).
+	MapDirtyLimit   int
+	MapUnitsPerPage int
+}
+
+func (c BlockConfig) validate(a *Array) error {
+	switch {
+	case c.LogicalBytes <= 0:
+		return fmt.Errorf("ftl: LogicalBytes must be positive")
+	case c.LogBlocks < 1:
+		return fmt.Errorf("ftl: LogBlocks must be >= 1")
+	case c.MapDirtyLimit < 1 || c.MapUnitsPerPage < 1:
+		return fmt.Errorf("ftl: map bookkeeping parameters must be >= 1")
+	}
+	blockSize := int64(a.Geometry().BlockSize())
+	lbns := (c.LogicalBytes + blockSize - 1) / blockSize
+	need := lbns + int64(c.LogBlocks) + 2
+	if int64(a.Blocks()) < need {
+		return fmt.Errorf("ftl: array has %d blocks, block FTL needs >= %d (logical %d + logs %d + 2)",
+			a.Blocks(), need, lbns, c.LogBlocks)
+	}
+	return nil
+}
+
+type logEnt struct {
+	pb       int // physical replacement block
+	nextPage int // pages [0,nextPage) programmed, 1:1 with block offsets
+	lastUse  int64
+}
+
+// BlockFTL is a block-granularity mapped flash translation layer with a
+// bounded set of in-order replacement blocks: the design of the USB flash
+// drives, SD cards and IDE modules in the paper's device set. Every logical
+// block maps to at most one data block whose programmed pages form a
+// contiguous prefix (a direct consequence of the chip's sequential-
+// programming constraint), so out-of-order writes force full merges.
+type BlockFTL struct {
+	arr   *Array
+	cfg   BlockConfig
+	model CostModel
+
+	blockBytes    int64
+	pagesPerBlock int
+	lbnCount      int64
+
+	data []int32 // lbn -> physical block, -1 unmapped
+	logs map[int64]*logEnt
+	free *freeHeap
+	tick int64
+
+	book  mapBook
+	stats Stats
+
+	lastReadSlot int64
+}
+
+// NewBlockFTL builds a block-mapped FTL over the array. The flash must be in
+// its factory (all-erased) state.
+func NewBlockFTL(arr *Array, cfg BlockConfig, model CostModel) (*BlockFTL, error) {
+	if err := cfg.validate(arr); err != nil {
+		return nil, err
+	}
+	geo := arr.Geometry()
+	f := &BlockFTL{
+		arr:           arr,
+		cfg:           cfg,
+		model:         model,
+		blockBytes:    int64(geo.BlockSize()),
+		pagesPerBlock: geo.PagesPerBlock,
+		logs:          make(map[int64]*logEnt, cfg.LogBlocks),
+		free:          &freeHeap{},
+		lastReadSlot:  -2,
+	}
+	f.lbnCount = (cfg.LogicalBytes + f.blockBytes - 1) / f.blockBytes
+	f.data = make([]int32, f.lbnCount)
+	for i := range f.data {
+		f.data[i] = -1
+	}
+	for b := 0; b < arr.Blocks(); b++ {
+		heap.Push(f.free, freeBlock{block: b, eraseCount: 0})
+	}
+	f.book = newMapBook(int64(cfg.MapUnitsPerPage), cfg.MapDirtyLimit)
+	return f, nil
+}
+
+// Capacity returns the logical byte capacity.
+func (f *BlockFTL) Capacity() int64 { return f.cfg.LogicalBytes }
+
+// Stats returns a snapshot of the FTL counters.
+func (f *BlockFTL) Stats() Stats { return f.stats }
+
+// ActiveLogs returns the number of replacement blocks currently in use.
+func (f *BlockFTL) ActiveLogs() int { return len(f.logs) }
+
+// FreeBlocks returns the size of the erased pool.
+func (f *BlockFTL) FreeBlocks() int { return f.free.Len() }
+
+func (f *BlockFTL) allocFree() (int, error) {
+	if f.free.Len() == 0 {
+		return 0, ErrNoSpace
+	}
+	fb := heap.Pop(f.free).(freeBlock)
+	return fb.block, nil
+}
+
+func (f *BlockFTL) pushFree(block int) {
+	ec, _ := f.arr.EraseCount(block)
+	heap.Push(f.free, freeBlock{block: block, eraseCount: ec})
+}
+
+// dataNext returns the programmed-prefix length of the lbn's data block
+// (0 when unmapped).
+func (f *BlockFTL) dataNext(lbn int64) int {
+	pb := f.data[lbn]
+	if pb < 0 {
+		return 0
+	}
+	n, _ := f.arr.NextProgramPage(int(pb))
+	return n
+}
+
+// copyPages copies pages [from,to) of the lbn's data block into the log
+// block at the same offsets, programming blank filler for pages the data
+// block never held (the chip's sequential constraint requires every page of
+// the gap to be programmed).
+func (f *BlockFTL) copyPages(lbn int64, log *logEnt, from, to int, ops *Ops) error {
+	if to <= from {
+		return nil
+	}
+	pb := int(f.data[lbn])
+	have := f.dataNext(lbn)
+	for p := from; p < to; p++ {
+		if f.data[lbn] >= 0 && p < have {
+			if err := f.arr.ReadPage(pb, p); err != nil {
+				return fmt.Errorf("ftl: merge read: %w", err)
+			}
+			ops.MergeReads++
+			f.stats.PagesRead++
+		}
+		if err := f.arr.ProgramPage(log.pb, p); err != nil {
+			return fmt.Errorf("ftl: merge program: %w", err)
+		}
+		ops.MergePrograms++
+		f.stats.PagesProgrammed++
+	}
+	log.nextPage = to
+	return nil
+}
+
+// fullMerge completes the lbn's log block: the tail of the old data block is
+// copied in, the old data block is erased and freed, and the log becomes the
+// data block.
+func (f *BlockFTL) fullMerge(lbn int64, ops *Ops) error {
+	log := f.logs[lbn]
+	if log == nil {
+		return nil
+	}
+	old := f.data[lbn]
+	oldNext := f.dataNext(lbn)
+	f.stats.Merges++
+	if log.nextPage < oldNext {
+		if err := f.copyPages(lbn, log, log.nextPage, oldNext, ops); err != nil {
+			return err
+		}
+	} else if old < 0 || oldNext == 0 {
+		f.stats.SwitchMerges++
+	}
+	if old >= 0 {
+		if err := f.arr.EraseBlock(int(old)); err != nil {
+			return fmt.Errorf("ftl: merge erase: %w", err)
+		}
+		ops.Erases++
+		f.stats.BlocksErased++
+		f.pushFree(int(old))
+	}
+	f.data[lbn] = int32(log.pb)
+	delete(f.logs, lbn)
+	return nil
+}
+
+// allocLog attaches a fresh replacement block to lbn, evicting (merging) the
+// least-recently-used log when all slots are taken.
+func (f *BlockFTL) allocLog(lbn int64, ops *Ops) (*logEnt, error) {
+	if len(f.logs) >= f.cfg.LogBlocks {
+		var victim int64 = -1
+		var oldest int64
+		for l, e := range f.logs {
+			if victim < 0 || e.lastUse < oldest {
+				victim, oldest = l, e.lastUse
+			}
+		}
+		if err := f.fullMerge(victim, ops); err != nil {
+			return nil, err
+		}
+	}
+	pb, err := f.allocFree()
+	if err != nil {
+		return nil, err
+	}
+	f.tick++
+	log := &logEnt{pb: pb, lastUse: f.tick}
+	f.logs[lbn] = log
+	return log, nil
+}
+
+// pageLocation resolves where page p of lbn currently lives: the log block,
+// the data block, or nowhere.
+func (f *BlockFTL) pageLocation(lbn int64, p int) (block int, ok bool) {
+	if log := f.logs[lbn]; log != nil && p < log.nextPage {
+		return log.pb, true
+	}
+	if f.data[lbn] >= 0 && p < f.dataNext(lbn) {
+		return int(f.data[lbn]), true
+	}
+	return 0, false
+}
+
+// writeSegment services the part of a write that falls inside one logical
+// block: bytes [start,end) relative to the block.
+func (f *BlockFTL) writeSegment(lbn, start, end int64, ops *Ops) error {
+	pageSize := int64(f.arr.Geometry().PageSize)
+	sPage := int(start / pageSize)
+	ePage := int((end - 1) / pageSize)
+
+	// Read-modify-write for partial edge pages that already exist.
+	if start%pageSize != 0 {
+		if pb, ok := f.pageLocation(lbn, sPage); ok {
+			if err := f.arr.ReadPage(pb, sPage); err != nil {
+				return err
+			}
+			ops.MergeReads++
+			f.stats.PagesRead++
+		}
+	}
+	if end%pageSize != 0 && ePage != sPage {
+		if pb, ok := f.pageLocation(lbn, ePage); ok {
+			if err := f.arr.ReadPage(pb, ePage); err != nil {
+				return err
+			}
+			ops.MergeReads++
+			f.stats.PagesRead++
+		}
+	}
+
+	log := f.logs[lbn]
+	if log == nil {
+		var err error
+		if log, err = f.allocLog(lbn, ops); err != nil {
+			return err
+		}
+	}
+	if sPage < log.nextPage {
+		// Out-of-order rewrite (in-place, reverse, revisiting random
+		// write): the log only appends, so merge and start over.
+		if err := f.fullMerge(lbn, ops); err != nil {
+			return err
+		}
+		var err error
+		if log, err = f.allocLog(lbn, ops); err != nil {
+			return err
+		}
+	}
+	if sPage > log.nextPage {
+		// Gap: pull the skipped pages forward to keep the 1:1 layout.
+		if err := f.copyPages(lbn, log, log.nextPage, sPage, ops); err != nil {
+			return err
+		}
+	}
+	for p := sPage; p <= ePage; p++ {
+		if err := f.arr.ProgramPage(log.pb, p); err != nil {
+			return fmt.Errorf("ftl: log program: %w", err)
+		}
+		ops.PagePrograms++
+		f.stats.PagesProgrammed++
+	}
+	log.nextPage = ePage + 1
+	f.tick++
+	log.lastUse = f.tick
+
+	if log.nextPage == f.pagesPerBlock {
+		// Fully written log: switch it in (cheap merge).
+		if err := f.fullMerge(lbn, ops); err != nil {
+			return err
+		}
+	}
+	before := ops.MapFlushes
+	f.book.touch(lbn, ops)
+	f.stats.MapFlushes += int64(ops.MapFlushes - before)
+	return nil
+}
+
+// Write services a host write.
+func (f *BlockFTL) Write(off, length int64) (Ops, error) {
+	var ops Ops
+	if err := checkRange(off, length, f.cfg.LogicalBytes); err != nil {
+		return ops, err
+	}
+	if length == 0 {
+		return ops, nil
+	}
+	f.stats.HostWrites++
+	pageSize := int64(f.arr.Geometry().PageSize)
+	f.stats.HostPagesWritten += (off+length-1)/pageSize - off/pageSize + 1
+	pos := off
+	end := off + length
+	for pos < end {
+		lbn := pos / f.blockBytes
+		segEnd := min64(end, (lbn+1)*f.blockBytes)
+		if err := f.writeSegment(lbn, pos-lbn*f.blockBytes, segEnd-lbn*f.blockBytes, &ops); err != nil {
+			return ops, err
+		}
+		pos = segEnd
+	}
+	f.lastReadSlot = -2
+	return ops, nil
+}
+
+// Read services a host read.
+func (f *BlockFTL) Read(off, length int64) (Ops, error) {
+	var ops Ops
+	if err := checkRange(off, length, f.cfg.LogicalBytes); err != nil {
+		return ops, err
+	}
+	if length == 0 {
+		return ops, nil
+	}
+	f.stats.HostReads++
+	pageSize := int64(f.arr.Geometry().PageSize)
+	p0 := off / pageSize
+	p1 := (off + length - 1) / pageSize
+	first := true
+	for gp := p0; gp <= p1; gp++ {
+		lbn := gp * pageSize / f.blockBytes
+		pageInBlock := int(gp % (f.blockBytes / pageSize))
+		pb, ok := f.pageLocation(lbn, pageInBlock)
+		if !ok {
+			ops.RAMBytes += pageSize
+			continue
+		}
+		if err := f.arr.ReadPage(pb, pageInBlock); err != nil {
+			return ops, fmt.Errorf("ftl: read: %w", err)
+		}
+		ops.PageReads++
+		f.stats.PagesRead++
+		physSlot := int64(pb)*int64(f.pagesPerBlock) + int64(pageInBlock)
+		if physSlot == f.lastReadSlot+1 {
+			ops.SeqPageReads++
+		} else if first {
+			ops.Stall += f.model.ReadSeek
+		}
+		first = false
+		f.lastReadSlot = physSlot
+	}
+	return ops, nil
+}
+
+// Idle is a no-op: the low-end devices this FTL models perform no
+// asynchronous reclamation, which is why pauses do not help them (Table 3,
+// Pause column).
+func (f *BlockFTL) Idle(time.Duration) {}

@@ -1,0 +1,401 @@
+package ftl
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+)
+
+// CacheConfig configures a WriteCache.
+//
+// The buffer is organized in regions (one region per underlying mapping /
+// flash block) and distinguishes two kinds of dirty regions, which is the
+// mechanism behind several Table 3 behaviours at once:
+//
+//   - zone regions hold data written out of order (random, reverse,
+//     in-place). They stay resident up to CapacityBytes — the "locality
+//     area" of Table 3 — and are evicted LRU, each eviction costing the FTL
+//     a read-modify-write merge when the region is incomplete.
+//   - stream regions are write-combining buffers for detected sequential
+//     streams (a region promotes from zone to stream when a write extends
+//     it in ascending order). At most Streams of them exist; exceeding the
+//     bound force-flushes the least recently used stream partially — the
+//     Partitioning cliff.
+//
+// Fully written regions flush immediately in either kind: the FTL completes
+// them with a cheap switch merge, which is why sequential and reverse
+// patterns stay cheap on buffered devices.
+type CacheConfig struct {
+	// CapacityBytes is the buffer size — the locality area of Table 3.
+	CapacityBytes int64
+	// LineBytes is the dirty-tracking granularity (e.g. 4096).
+	LineBytes int
+	// RegionBytes is the coalescing granularity, normally the FTL mapping
+	// block size.
+	RegionBytes int
+	// Streams bounds concurrently open stream regions (0 = unlimited).
+	Streams int
+	// FlashBacked marks the buffer as a flash log zone rather than RAM:
+	// admissions cost explicit per-page time (zone appends plus internal
+	// bookkeeping/compaction) and dirty-line reads cost page reads
+	// instead of RAM transfers.
+	FlashBacked bool
+	// PageBytes is the flash page size, used to price flash-backed
+	// admissions and zone reads.
+	PageBytes int
+	// SeqAdmitPerPage and RandAdmitPerPage are the calibrated per-page
+	// admission costs of the flash-backed zone for ascending-extension
+	// writes and for everything else (random, reverse, in-place). The
+	// gap between the two is the zone's compaction overhead, which the
+	// devices do not document — these are black-box coefficients fitted
+	// to Table 3.
+	SeqAdmitPerPage  time.Duration
+	RandAdmitPerPage time.Duration
+	// EvictBatch is how many LRU regions one capacity eviction episode
+	// flushes (default 1). Batching concentrates the merge work of
+	// several writes into one, producing the cheap/expensive oscillation
+	// of the running phase (Figure 3).
+	EvictBatch int
+	// DestageOnIdle lets idle time drain dirty regions in LRU order.
+	DestageOnIdle bool
+}
+
+func (c CacheConfig) validate() error {
+	switch {
+	case c.CapacityBytes <= 0:
+		return fmt.Errorf("ftl: cache CapacityBytes must be positive")
+	case c.LineBytes <= 0:
+		return fmt.Errorf("ftl: cache LineBytes must be positive")
+	case c.RegionBytes < c.LineBytes || c.RegionBytes%c.LineBytes != 0:
+		return fmt.Errorf("ftl: RegionBytes %d must be a multiple of LineBytes %d", c.RegionBytes, c.LineBytes)
+	case c.CapacityBytes < int64(c.RegionBytes):
+		return fmt.Errorf("ftl: cache capacity %d smaller than one region %d", c.CapacityBytes, c.RegionBytes)
+	case c.FlashBacked && c.PageBytes <= 0:
+		return fmt.Errorf("ftl: flash-backed cache needs PageBytes")
+	}
+	return nil
+}
+
+type cacheRegion struct {
+	id      int64
+	lines   map[int64]struct{} // dirty line indexes within the region
+	maxLine int64              // highest dirty line so far
+	stream  bool
+	elem    *list.Element // element in streamLRU or zoneLRU
+}
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	Hits          int64 // writes to lines already dirty
+	Misses        int64 // writes dirtying new lines
+	CompleteFlush int64 // immediate flushes of fully written regions
+	StreamFlushes int64 // partial flushes forced by the Streams bound
+	CapFlushes    int64 // evictions forced by capacity
+	IdleDestages  int64 // flushes performed during idle time
+	Promotions    int64 // zone -> stream promotions
+}
+
+// WriteCache models the controller write buffer in front of the translation
+// layer (Section 2.2: the FTL "might be able to cache and destage both data
+// and bookkeeping information").
+type WriteCache struct {
+	inner Translator
+	model CostModel
+	cfg   CacheConfig
+
+	linesPerRegion int64
+	capLines       int64
+	totalLines     int64
+	regions        map[int64]*cacheRegion
+	streamLRU      *list.List // front = MRU, values *cacheRegion
+	zoneLRU        *list.List
+
+	stats      CacheStats
+	idleCredit time.Duration
+}
+
+// NewWriteCache wraps inner with a region-coalescing write-back buffer.
+func NewWriteCache(inner Translator, cfg CacheConfig, model CostModel) (*WriteCache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &WriteCache{
+		inner:          inner,
+		model:          model,
+		cfg:            cfg,
+		linesPerRegion: int64(cfg.RegionBytes / cfg.LineBytes),
+		capLines:       cfg.CapacityBytes / int64(cfg.LineBytes),
+		regions:        make(map[int64]*cacheRegion),
+		streamLRU:      list.New(),
+		zoneLRU:        list.New(),
+	}, nil
+}
+
+// Capacity returns the logical capacity of the underlying layer.
+func (c *WriteCache) Capacity() int64 { return c.inner.Capacity() }
+
+// Stats returns a snapshot of the cache counters.
+func (c *WriteCache) Stats() CacheStats { return c.stats }
+
+// DirtyLines returns the number of buffered dirty lines.
+func (c *WriteCache) DirtyLines() int64 { return c.totalLines }
+
+// OpenRegions returns the number of regions holding dirty lines.
+func (c *WriteCache) OpenRegions() int { return len(c.regions) }
+
+// Inner returns the wrapped translation layer.
+func (c *WriteCache) Inner() Translator { return c.inner }
+
+func (c *WriteCache) lruOf(r *cacheRegion) *list.List {
+	if r.stream {
+		return c.streamLRU
+	}
+	return c.zoneLRU
+}
+
+// flushRegion writes all dirty lines of r through to the inner layer as
+// contiguous runs and removes the region.
+func (c *WriteCache) flushRegion(r *cacheRegion, ops *Ops) error {
+	c.lruOf(r).Remove(r.elem)
+	delete(c.regions, r.id)
+	c.totalLines -= int64(len(r.lines))
+	lb := int64(c.cfg.LineBytes)
+	base := r.id * int64(c.cfg.RegionBytes)
+	var runStart int64 = -1
+	flushRun := func(endExclusive int64) error {
+		if runStart < 0 {
+			return nil
+		}
+		inner, err := c.inner.Write(base+runStart*lb, (endExclusive-runStart)*lb)
+		if err != nil {
+			return err
+		}
+		ops.Add(inner)
+		runStart = -1
+		return nil
+	}
+	for l := int64(0); l < c.linesPerRegion; l++ {
+		if _, ok := r.lines[l]; ok {
+			if runStart < 0 {
+				runStart = l
+			}
+			continue
+		}
+		if err := flushRun(l); err != nil {
+			return err
+		}
+	}
+	return flushRun(c.linesPerRegion)
+}
+
+// admitCost charges the buffer-admission cost for bytes written, sequential
+// or not.
+func (c *WriteCache) admitCost(bytes int64, sequential bool, ops *Ops) {
+	if !c.cfg.FlashBacked {
+		ops.RAMBytes += bytes
+		return
+	}
+	pages := (bytes + int64(c.cfg.PageBytes) - 1) / int64(c.cfg.PageBytes)
+	if pages < 1 {
+		pages = 1
+	}
+	per := c.cfg.RandAdmitPerPage
+	if sequential {
+		per = c.cfg.SeqAdmitPerPage
+	}
+	ops.Stall += time.Duration(pages) * per
+}
+
+// Write buffers the lines the write covers, applying the stream/zone policy.
+func (c *WriteCache) Write(off, length int64) (Ops, error) {
+	var ops Ops
+	if err := checkRange(off, length, c.inner.Capacity()); err != nil {
+		return ops, err
+	}
+	if length == 0 {
+		return ops, nil
+	}
+	lb := int64(c.cfg.LineBytes)
+	l0 := off / lb
+	l1 := (off + length - 1) / lb
+	seq := true
+	var touched []*cacheRegion
+	for gl := l0; gl <= l1; {
+		rid := gl / c.linesPerRegion
+		r, ok := c.regions[rid]
+		if !ok {
+			r = &cacheRegion{id: rid, lines: make(map[int64]struct{}), maxLine: -1}
+			r.elem = c.zoneLRU.PushFront(r)
+			c.regions[rid] = r
+		}
+		firstLine := gl % c.linesPerRegion
+		ascending := r.maxLine >= 0 && firstLine == r.maxLine+1
+		// A write opening a region at its start is charged as a
+		// sequential append (the zone cannot tell yet), but promotion
+		// to a stream buffer still requires a confirmed extension.
+		openAtStart := r.maxLine < 0 && firstLine == 0
+		switch {
+		case ascending && !r.stream:
+			// A write extending the region in order reveals a
+			// sequential stream: promote to a write-combining buffer.
+			c.zoneLRU.Remove(r.elem)
+			r.stream = true
+			r.elem = c.streamLRU.PushFront(r)
+			c.stats.Promotions++
+		case !ascending && r.maxLine >= 0 && r.stream:
+			// Out-of-order write to a stream buffer: demote.
+			c.streamLRU.Remove(r.elem)
+			r.stream = false
+			r.elem = c.zoneLRU.PushFront(r)
+		default:
+			c.lruOf(r).MoveToFront(r.elem)
+		}
+		if !ascending && !openAtStart {
+			seq = false
+		}
+		for ; gl <= l1 && gl/c.linesPerRegion == rid; gl++ {
+			lineInR := gl % c.linesPerRegion
+			if _, dirty := r.lines[lineInR]; dirty {
+				c.stats.Hits++
+			} else {
+				c.stats.Misses++
+				r.lines[lineInR] = struct{}{}
+				c.totalLines++
+			}
+			if lineInR > r.maxLine {
+				r.maxLine = lineInR
+			}
+		}
+		touched = append(touched, r)
+	}
+	c.admitCost(length, seq, &ops)
+
+	// Fully written regions flush immediately (cheap switch merge below).
+	for _, r := range touched {
+		if _, still := c.regions[r.id]; still && int64(len(r.lines)) == c.linesPerRegion {
+			c.stats.CompleteFlush++
+			if err := c.flushRegion(r, &ops); err != nil {
+				return ops, err
+			}
+		}
+	}
+	// Stream bound: too many concurrent sequential streams force partial
+	// flushes (the Partitioning cliff).
+	for c.cfg.Streams > 0 && c.streamLRU.Len() > c.cfg.Streams {
+		c.stats.StreamFlushes++
+		r := c.streamLRU.Back().Value.(*cacheRegion)
+		if err := c.flushRegion(r, &ops); err != nil {
+			return ops, err
+		}
+	}
+	// Capacity bound: evict LRU zone regions (streams as a last resort),
+	// a batch at a time.
+	if c.totalLines > c.capLines {
+		batch := c.cfg.EvictBatch
+		if batch < 1 {
+			batch = 1
+		}
+		for i := 0; (i < batch || c.totalLines > c.capLines) && c.totalLines > 0; i++ {
+			var r *cacheRegion
+			if c.zoneLRU.Len() > 0 {
+				r = c.zoneLRU.Back().Value.(*cacheRegion)
+			} else if c.streamLRU.Len() > 0 {
+				r = c.streamLRU.Back().Value.(*cacheRegion)
+			} else {
+				break
+			}
+			c.stats.CapFlushes++
+			if err := c.flushRegion(r, &ops); err != nil {
+				return ops, err
+			}
+		}
+	}
+	return ops, nil
+}
+
+// Read serves buffered lines from the cache and forwards contiguous
+// unbuffered spans to the inner layer.
+func (c *WriteCache) Read(off, length int64) (Ops, error) {
+	var ops Ops
+	if err := checkRange(off, length, c.inner.Capacity()); err != nil {
+		return ops, err
+	}
+	if length == 0 {
+		return ops, nil
+	}
+	lb := int64(c.cfg.LineBytes)
+	l0 := off / lb
+	l1 := (off + length - 1) / lb
+	spanStart := int64(-1)
+	forward := func(endExclusive int64) error {
+		if spanStart < 0 {
+			return nil
+		}
+		inner, err := c.inner.Read(spanStart*lb, (endExclusive-spanStart)*lb)
+		if err != nil {
+			return err
+		}
+		ops.Add(inner)
+		spanStart = -1
+		return nil
+	}
+	for gl := l0; gl <= l1; gl++ {
+		rid := gl / c.linesPerRegion
+		if r, ok := c.regions[rid]; ok {
+			if _, dirty := r.lines[gl%c.linesPerRegion]; dirty {
+				if c.cfg.FlashBacked {
+					pages := c.cfg.LineBytes / c.cfg.PageBytes
+					if pages < 1 {
+						pages = 1
+					}
+					ops.PageReads += pages
+				} else {
+					ops.RAMBytes += lb
+				}
+				if err := forward(gl); err != nil {
+					return ops, err
+				}
+				continue
+			}
+		}
+		if spanStart < 0 {
+			spanStart = gl
+		}
+	}
+	if err := forward(l1 + 1); err != nil {
+		return ops, err
+	}
+	return ops, nil
+}
+
+// Idle forwards idle time to the inner layer and, when configured, destages
+// dirty regions with the remaining credit.
+func (c *WriteCache) Idle(d time.Duration) {
+	c.inner.Idle(d)
+	if !c.cfg.DestageOnIdle || d <= 0 {
+		return
+	}
+	c.idleCredit += d
+	const maxCredit = time.Second
+	if c.idleCredit > maxCredit {
+		c.idleCredit = maxCredit
+	}
+	for c.idleCredit > 0 && (c.zoneLRU.Len() > 0 || c.streamLRU.Len() > 0) {
+		var r *cacheRegion
+		if c.zoneLRU.Len() > 0 {
+			r = c.zoneLRU.Back().Value.(*cacheRegion)
+		} else {
+			r = c.streamLRU.Back().Value.(*cacheRegion)
+		}
+		var ops Ops
+		c.stats.IdleDestages++
+		if err := c.flushRegion(r, &ops); err != nil {
+			return
+		}
+		cost := c.model.Cost(ops)
+		if cost <= 0 {
+			cost = time.Microsecond
+		}
+		c.idleCredit -= cost
+	}
+}

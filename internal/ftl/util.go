@@ -1,0 +1,120 @@
+package ftl
+
+// freeBlock is an entry in the pre-erased pool, ordered by erase count so
+// allocation doubles as dynamic wear leveling (the least-worn free block is
+// always handed out first).
+type freeBlock struct {
+	block      int
+	eraseCount int
+}
+
+type freeHeap []freeBlock
+
+func (h freeHeap) Len() int { return len(h) }
+func (h freeHeap) Less(i, j int) bool {
+	if h[i].eraseCount != h[j].eraseCount {
+		return h[i].eraseCount < h[j].eraseCount
+	}
+	return h[i].block < h[j].block
+}
+func (h freeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *freeHeap) Push(x interface{}) { *h = append(*h, x.(freeBlock)) }
+func (h *freeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// victimBlock is a garbage-collection candidate, ordered by live unit count
+// (greedy policy) with erase count as tie-break (wear-aware victim choice).
+// The heap is lazy: counts may be stale and are re-validated on pop, and a
+// generation number guards against ghost entries from a block's previous
+// life (a block can be closed, collected, erased, reallocated and closed
+// again while an old entry still sits in the heap).
+type victimBlock struct {
+	block      int
+	live       int
+	eraseCount int
+	gen        int32
+}
+
+type victimHeap []victimBlock
+
+func (h victimHeap) Len() int { return len(h) }
+func (h victimHeap) Less(i, j int) bool {
+	if h[i].live != h[j].live {
+		return h[i].live < h[j].live
+	}
+	if h[i].eraseCount != h[j].eraseCount {
+		return h[i].eraseCount < h[j].eraseCount
+	}
+	return h[i].block < h[j].block
+}
+func (h victimHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *victimHeap) Push(x interface{}) { *h = append(*h, x.(victimBlock)) }
+func (h *victimHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// mapBook models the on-flash direct map of Section 2.2: each map page
+// covers unitsPerPage consecutive mapping entries; dirty map pages are
+// buffered in controller RAM up to limit, then flushed to flash. Scattered
+// writes touch many distinct map pages and therefore flush often, while
+// focused writes amortize their bookkeeping — the mechanism behind the extra
+// cost of large-increment ordered patterns.
+type mapBook struct {
+	unitsPerPage int64
+	limit        int
+	dirty        map[int64]struct{}
+	order        []int64 // FIFO of dirty map pages
+	lastFlushed  int64
+}
+
+func newMapBook(unitsPerPage int64, limit int) mapBook {
+	if unitsPerPage < 1 {
+		unitsPerPage = 1
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return mapBook{
+		unitsPerPage: unitsPerPage,
+		limit:        limit,
+		dirty:        make(map[int64]struct{}, limit+1),
+		lastFlushed:  -2,
+	}
+}
+
+// touch records that the map entry for unit changed, charging a flush to ops
+// when the dirty budget is exceeded. Flushing map pages in address order is
+// itself a sequential write and stays cheap (one page program); it is the
+// scattered map-page flushes — random or strided data writes hopping between
+// map pages — that pay the full bookkeeping-block cycle.
+func (b *mapBook) touch(unit int64, ops *Ops) {
+	page := unit / b.unitsPerPage
+	if _, ok := b.dirty[page]; ok {
+		return
+	}
+	b.dirty[page] = struct{}{}
+	b.order = append(b.order, page)
+	if len(b.dirty) > b.limit {
+		victim := b.order[0]
+		b.order = b.order[1:]
+		delete(b.dirty, victim)
+		if victim == b.lastFlushed+1 || victim == b.lastFlushed {
+			ops.SeqMapFlushes++
+		} else {
+			ops.MapFlushes++
+		}
+		b.lastFlushed = victim
+	}
+}
+
+// dirtyCount reports the number of buffered dirty map pages (for tests).
+func (b *mapBook) dirtyCount() int { return len(b.dirty) }

@@ -1,0 +1,154 @@
+package methodology
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"uflip/internal/core"
+	"uflip/internal/device"
+	"uflip/internal/stats"
+)
+
+// AutoTune implements the first future-work item of Section 6:
+// (semi-)automatic tuning of experiment length, "to ensure that the start-up
+// period is omitted and the running phase captured sufficiently well to
+// guarantee given bounds for the confidence interval, while minimizing the
+// IOs issued".
+//
+// The tuner runs the pattern in growing chunks. After each chunk it
+// re-applies the two-phase model to the trace so far; once past the start-up
+// phase it computes the half-width of the (approximate, normal) confidence
+// interval of the running-phase mean and stops as soon as the relative
+// half-width drops below the requested bound.
+
+// TuneConfig bounds the automatic search.
+type TuneConfig struct {
+	// RelativeHalfWidth is the target: CI half-width / mean (e.g. 0.05
+	// for +-5% at the chosen confidence).
+	RelativeHalfWidth float64
+	// Z is the normal quantile of the confidence level (1.96 ~ 95%).
+	// Zero means 1.96.
+	Z float64
+	// ChunkIOs is the increment between convergence checks (default 256).
+	ChunkIOs int
+	// MaxIOs caps the search (default 65536).
+	MaxIOs int
+	// MinPeriods is how many oscillation periods the running phase must
+	// cover before the estimate is trusted (default 8).
+	MinPeriods int
+}
+
+func (c *TuneConfig) setDefaults() {
+	if c.RelativeHalfWidth <= 0 {
+		c.RelativeHalfWidth = 0.05
+	}
+	if c.Z <= 0 {
+		c.Z = 1.96
+	}
+	if c.ChunkIOs <= 0 {
+		c.ChunkIOs = 256
+	}
+	if c.MaxIOs <= 0 {
+		c.MaxIOs = 65536
+	}
+	if c.MinPeriods <= 0 {
+		c.MinPeriods = 8
+	}
+}
+
+// TuneResult is the outcome of an automatic length search.
+type TuneResult struct {
+	// IOIgnore and IOCount are the derived run parameters.
+	IOIgnore int
+	IOCount  int
+	// Converged reports whether the confidence bound was met within
+	// MaxIOs; when false, IOCount is MaxIOs and the estimate is the best
+	// available.
+	Converged bool
+	// Mean is the running-phase mean (seconds) at the stopping point and
+	// HalfWidth its confidence half-width.
+	Mean      float64
+	HalfWidth float64
+	// Analysis is the final two-phase analysis of the trace.
+	Analysis stats.PhaseAnalysis
+	// End is the virtual time when tuning finished.
+	End time.Duration
+}
+
+// AutoTuneIOCount grows a run of the pattern until the running-phase mean is
+// known within the requested confidence bound.
+func AutoTuneIOCount(dev device.Device, p core.Pattern, cfg TuneConfig, startAt time.Duration) (*TuneResult, error) {
+	cfg.setDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("methodology: autotune: %w", err)
+	}
+	// Widen the pattern to the search bound up front so one source yields
+	// a single uninterrupted IO sequence across chunks.
+	p.IOCount = cfg.MaxIOs
+	if p.LBA == core.Sequential && p.TargetSize < int64(cfg.MaxIOs)*p.IOSize {
+		// Keep wrapping semantics: the original target stays; sequential
+		// patterns simply wrap (Table 1 locality formula).
+		if p.TargetSize < p.IOSize {
+			p.TargetSize = p.IOSize
+		}
+	}
+	src := p.Source()
+	timing := core.Timing{Pause: p.Pause, Burst: p.Burst}
+
+	res := &TuneResult{}
+	var rts []time.Duration
+	t := startAt
+	for len(rts) < cfg.MaxIOs {
+		chunk := cfg.ChunkIOs
+		if rem := cfg.MaxIOs - len(rts); chunk > rem {
+			chunk = rem
+		}
+		run, err := core.Execute(dev, src, chunk, 0, timing, t)
+		if err != nil {
+			return nil, fmt.Errorf("methodology: autotune: %w", err)
+		}
+		rts = append(rts, run.RTs...)
+		t += run.Total
+
+		an := stats.AnalyzePhases(rts)
+		ignore := an.StartUp + an.StartUp/4
+		if ignore >= len(rts) {
+			continue
+		}
+		running := rts[ignore:]
+		if an.Oscillates && an.Period > 0 && len(running) < cfg.MinPeriods*an.Period {
+			continue // not enough periods observed yet
+		}
+		sum := stats.Summarize(running)
+		if sum.Mean <= 0 || sum.N < 2 {
+			continue
+		}
+		half := cfg.Z * sum.StdDev / math.Sqrt(float64(sum.N))
+		if half/sum.Mean <= cfg.RelativeHalfWidth {
+			res.IOIgnore = ignore
+			res.IOCount = len(rts)
+			res.Converged = true
+			res.Mean = sum.Mean
+			res.HalfWidth = half
+			res.Analysis = an
+			res.End = t
+			return res, nil
+		}
+	}
+	an := stats.AnalyzePhases(rts)
+	ignore := an.StartUp + an.StartUp/4
+	if ignore >= len(rts) {
+		ignore = 0
+	}
+	sum := stats.Summarize(rts[ignore:])
+	res.IOIgnore = ignore
+	res.IOCount = len(rts)
+	res.Mean = sum.Mean
+	if sum.N > 1 {
+		res.HalfWidth = cfg.Z * sum.StdDev / math.Sqrt(float64(sum.N))
+	}
+	res.Analysis = an
+	res.End = t
+	return res, nil
+}

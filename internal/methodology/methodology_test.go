@@ -1,0 +1,249 @@
+package methodology
+
+import (
+	"testing"
+	"time"
+
+	"uflip/internal/core"
+	"uflip/internal/device"
+	"uflip/internal/profile"
+)
+
+func smallDevice(t testing.TB, key string) device.Device {
+	t.Helper()
+	p, err := profile.ByKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := p.BuildWithCapacity(256 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestEnforceRandomStateFillsDevice(t *testing.T) {
+	dev := smallDevice(t, "kingston-dti")
+	end, err := EnforceRandomState(dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= 0 {
+		t.Fatal("state enforcement took no device time")
+	}
+	// After the fill, reads across the device hit mapped data: random
+	// reads must cost real flash time, not the controller-only cost of an
+	// unmapped region.
+	d := core.StandardDefaults()
+	d.IOCount = 64
+	d.RandomTarget = dev.Capacity() / 2
+	run, err := core.ExecutePattern(dev, core.RR.Pattern(d), end+time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Summary.Mean < 0.0005 {
+		t.Fatalf("random reads after fill cost only %.3f ms: device not filled", run.Summary.Mean*1e3)
+	}
+}
+
+func TestEnforceSequentialState(t *testing.T) {
+	dev := smallDevice(t, "kingston-dti")
+	end, err := EnforceSequentialState(dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random := smallDevice(t, "kingston-dti")
+	rEnd, err := EnforceRandomState(random, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: sequential state enforcement is much faster (one
+	// sequential pass) than the random fill.
+	if end >= rEnd {
+		t.Fatalf("sequential fill (%v) not faster than random fill (%v)", end, rEnd)
+	}
+}
+
+func TestMeasurePhasesMtron(t *testing.T) {
+	dev := smallDevice(t, "mtron")
+	at, err := EnforceRandomState(dev, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.StandardDefaults()
+	d.RandomTarget = dev.Capacity() / 2
+	rep, err := MeasurePhases(dev, d, 2048, at+5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Mtron-class device has a start-up phase for random writes only
+	// (Section 5.1): IOIgnore positive for RW, zero for reads.
+	if rep.IOIgnore[core.RW] == 0 {
+		t.Error("no RW start-up detected on the Mtron profile")
+	}
+	if rep.IOIgnore[core.SR] != 0 {
+		t.Errorf("SR start-up = %d, want 0", rep.IOIgnore[core.SR])
+	}
+	// Oscillating random writes demand a longer run.
+	if rep.IOCount[core.RW] <= rep.IOCount[core.SR] {
+		t.Errorf("RW IOCount %d not larger than SR %d", rep.IOCount[core.RW], rep.IOCount[core.SR])
+	}
+	if rep.IOCount[core.RW] <= 2*rep.IOIgnore[core.RW] {
+		t.Error("IOCount does not cover the start-up phase")
+	}
+}
+
+func TestMeasurePauseMemDeviceHasNoLinger(t *testing.T) {
+	dev := device.NewMemDevice("mem", 1<<30, time.Millisecond, 2*time.Millisecond)
+	d := core.StandardDefaults()
+	rep, err := MeasurePause(dev, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LingerIOs != 0 {
+		t.Fatalf("uniform device lingered %d IOs", rep.LingerIOs)
+	}
+	// Conservative floor of 1 s (Section 5.1).
+	if rep.RecommendedPause < time.Second {
+		t.Fatalf("pause %v below the conservative floor", rep.RecommendedPause)
+	}
+}
+
+func TestMeasurePauseMtronLingers(t *testing.T) {
+	dev := smallDevice(t, "mtron")
+	at, err := EnforceRandomState(dev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.StandardDefaults()
+	d.RandomTarget = dev.Capacity() / 2
+	rep, err := MeasurePause(dev, d, at+5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 5: the Mtron's asynchronous reclamation slows reads for
+	// thousands of IOs after a random-write batch.
+	if rep.LingerIOs < 50 {
+		t.Fatalf("lingering = %d reads, want a substantial tail", rep.LingerIOs)
+	}
+	if rep.RecommendedPause <= time.Second {
+		t.Fatalf("pause %v should exceed the floor on a lingering device", rep.RecommendedPause)
+	}
+	if len(rep.Trace) != rep.ReadsBefore+rep.Writes+11000 {
+		t.Fatalf("trace length %d", len(rep.Trace))
+	}
+}
+
+func TestBuildPlanSeparatesSequentialWrites(t *testing.T) {
+	d := core.StandardDefaults()
+	const capacity = 8 << 30
+	var exps []core.Experiment
+	for _, mb := range core.AllMicrobenchmarks(d, capacity) {
+		exps = append(exps, mb.Experiments...)
+	}
+	plan := BuildPlan(exps, capacity, time.Second, nil)
+	if len(plan.Steps) < len(exps) {
+		t.Fatalf("plan lost experiments: %d steps for %d experiments", len(plan.Steps), len(exps))
+	}
+	// Sequential-write experiments are grouped at the end with disjoint
+	// target spaces between resets.
+	seenSeqWrite := false
+	type span struct{ lo, hi int64 }
+	var spans []span
+	for _, step := range plan.Steps {
+		if step.Kind == StepReset {
+			spans = nil
+			continue
+		}
+		e := step.Exp
+		if disturbsState(&e) {
+			seenSeqWrite = true
+			lo, hi := e.Pattern.Span()
+			if e.MixWith != nil {
+				_, mhi := e.MixWith.Span()
+				if mhi > hi {
+					hi = mhi
+				}
+			}
+			if hi > capacity {
+				t.Fatalf("%s target [%d,%d) beyond device", e.ID(), lo, hi)
+			}
+			for _, s := range spans {
+				if lo < s.hi && s.lo < hi {
+					t.Fatalf("%s overlaps earlier sequential-write target", e.ID())
+				}
+			}
+			spans = append(spans, span{lo, hi})
+		} else if seenSeqWrite {
+			t.Fatalf("non-disturbing experiment %s scheduled after sequential writes", e.ID())
+		}
+	}
+	if !seenSeqWrite {
+		t.Fatal("plan contains no sequential-write experiments")
+	}
+}
+
+func TestBuildPlanInsertsResets(t *testing.T) {
+	d := core.StandardDefaults()
+	d.IOCount = 1024
+	// A tiny device forces the accumulated sequential-write target space
+	// past capacity.
+	const capacity = 64 << 20
+	var exps []core.Experiment
+	mb := core.Partitioning(d, capacity)
+	for i := 0; i < 8; i++ {
+		exps = append(exps, mb.Experiments...)
+	}
+	plan := BuildPlan(exps, capacity, time.Second, nil)
+	if plan.Resets == 0 {
+		t.Fatal("no state resets despite exceeding the device")
+	}
+}
+
+func TestBuildPlanAppliesPhases(t *testing.T) {
+	d := core.StandardDefaults()
+	phases := &PhaseReport{
+		IOIgnore: map[core.Baseline]int{core.RW: 128},
+		IOCount:  map[core.Baseline]int{core.RW: 5120},
+	}
+	exps := []core.Experiment{{Micro: "t", Base: core.RW, Pattern: core.RW.Pattern(d)}}
+	plan := BuildPlan(exps, 8<<30, time.Second, phases)
+	got := plan.Steps[0].Exp.Pattern
+	if got.IOIgnore != 128 || got.IOCount != 5120 {
+		t.Fatalf("phases not applied: ignore=%d count=%d", got.IOIgnore, got.IOCount)
+	}
+}
+
+func TestRunPlanEndToEnd(t *testing.T) {
+	dev := smallDevice(t, "transcend-module")
+	if _, err := EnforceRandomState(dev, 4); err != nil {
+		t.Fatal(err)
+	}
+	d := core.StandardDefaults()
+	d.IOCount = 128
+	d.RandomTarget = dev.Capacity() / 2
+	var exps []core.Experiment
+	mb := core.Order(d, dev.Capacity())
+	exps = append(exps, mb.Experiments...)
+	plan := BuildPlan(exps, dev.Capacity(), time.Second, nil)
+	var progressed int
+	res, err := RunPlan(dev, plan, 20*time.Minute, 4, func(step, total int, desc string) { progressed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != len(exps) {
+		t.Fatalf("results = %d, want %d", len(res.Results), len(exps))
+	}
+	if progressed != len(plan.Steps) {
+		t.Fatalf("progress called %d times for %d steps", progressed, len(plan.Steps))
+	}
+	if res.Find("Order", core.SW, -1) == nil {
+		t.Fatal("Find could not locate the reverse experiment")
+	}
+	if res.Find("Order", core.SW, 12345) != nil {
+		t.Fatal("Find matched a non-existent value")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}

@@ -1,0 +1,202 @@
+package methodology
+
+import (
+	"fmt"
+	"time"
+
+	"uflip/internal/core"
+	"uflip/internal/device"
+)
+
+// StepKind distinguishes benchmark-plan steps.
+type StepKind int
+
+const (
+	// StepRun executes one experiment.
+	StepRun StepKind = iota
+	// StepReset re-enforces the random device state (Section 4.1); the
+	// plan inserts one whenever the accumulated sequential-write target
+	// space would exceed the device.
+	StepReset
+)
+
+// Step is one entry of a benchmark plan.
+type Step struct {
+	Kind StepKind
+	Exp  core.Experiment // StepRun only
+}
+
+// Plan is an ordered sequence of experiments with disjoint sequential-write
+// target spaces, pauses between runs, and state resets where needed
+// (Section 4.2, "benchmark plan").
+type Plan struct {
+	Device string
+	Pause  time.Duration
+	Steps  []Step
+	Resets int
+}
+
+// BuildPlan lays out the experiments: read-only and random-write experiments
+// first (they leave the random state intact), then the sequential-write
+// experiments grouped together, each allocated a fresh target space; a state
+// reset is inserted whenever the sequential-write allocations would exceed
+// the device capacity. Patterns are updated in place with their assigned
+// TargetOffset and, when provided, the per-baseline IOIgnore/IOCount of the
+// phase report.
+func BuildPlan(exps []core.Experiment, capacity int64, pause time.Duration, phases *PhaseReport) Plan {
+	plan := Plan{Pause: pause}
+	var seqWrites, others []core.Experiment
+	for _, e := range exps {
+		if phases != nil {
+			applyPhases(&e, phases)
+		}
+		if disturbsState(&e) {
+			seqWrites = append(seqWrites, e)
+		} else {
+			others = append(others, e)
+		}
+	}
+	for _, e := range others {
+		plan.Steps = append(plan.Steps, Step{Kind: StepRun, Exp: e})
+	}
+	// Sequential writes: allocate disjoint target spaces walking up the
+	// device; reset state when the device is exhausted.
+	var offset int64
+	for _, e := range seqWrites {
+		span := spanOf(&e)
+		if offset+span > capacity {
+			plan.Steps = append(plan.Steps, Step{Kind: StepReset})
+			plan.Resets++
+			offset = 0
+		}
+		setOffset(&e, offset)
+		offset += span
+		plan.Steps = append(plan.Steps, Step{Kind: StepRun, Exp: e})
+	}
+	return plan
+}
+
+// disturbsState reports whether the experiment writes sequentially (the only
+// pattern kind that significantly disturbs a random state, Section 4.1).
+func disturbsState(e *core.Experiment) bool {
+	seqWrite := func(p *core.Pattern) bool {
+		return p.Mode == device.Write && p.LBA != core.Random
+	}
+	if seqWrite(&e.Pattern) {
+		return true
+	}
+	return e.MixWith != nil && seqWrite(e.MixWith)
+}
+
+func spanOf(e *core.Experiment) int64 {
+	_, hi := e.Pattern.Span()
+	lo, _ := e.Pattern.Span()
+	span := hi - lo
+	if e.MixWith != nil {
+		mlo, mhi := e.MixWith.Span()
+		if mhi-mlo > 0 {
+			span += mhi - mlo
+		}
+	}
+	return span
+}
+
+func setOffset(e *core.Experiment, offset int64) {
+	base := e.Pattern.TargetOffset
+	e.Pattern.TargetOffset = offset
+	if e.MixWith != nil {
+		// Preserve the relative placement of the mix partner.
+		rel := e.MixWith.TargetOffset - base
+		if rel < 0 {
+			rel = e.Pattern.TargetSize
+		}
+		e.MixWith.TargetOffset = offset + rel
+	}
+}
+
+func applyPhases(e *core.Experiment, phases *PhaseReport) {
+	b := e.Base
+	if ign, ok := phases.IOIgnore[b]; ok {
+		e.Pattern.IOIgnore = ign
+	}
+	if cnt, ok := phases.IOCount[b]; ok {
+		e.Pattern.IOCount = cnt
+	}
+	if e.MixWith != nil {
+		// Scale the run so the minority pattern still gets enough IOs
+		// past its start-up phase (Section 4.2 warns that a read-heavy
+		// mix otherwise only measures the cheap initial random writes).
+		e.Pattern.IOCount *= 2
+		e.MixWith.IOCount = e.Pattern.IOCount
+	}
+	if e.Pattern.IOIgnore >= e.Pattern.IOCount {
+		e.Pattern.IOCount = 2*e.Pattern.IOIgnore + 512
+	}
+}
+
+// Result pairs an experiment with its run.
+type Result struct {
+	Exp core.Experiment
+	Run *core.Run
+}
+
+// Results collects a plan's outcomes for one device.
+type Results struct {
+	Device  string
+	Results []Result
+	// Elapsed is the total virtual time of the plan, state resets
+	// included.
+	Elapsed time.Duration
+}
+
+// Find returns the first result matching micro-benchmark, baseline and
+// parameter value, or nil.
+func (r *Results) Find(micro string, base core.Baseline, value int64) *Result {
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Exp.Micro == micro && res.Exp.Base == base && res.Exp.Value == value {
+			return res
+		}
+	}
+	return nil
+}
+
+// ProgressFunc observes plan execution; either argument may be zero-valued.
+type ProgressFunc func(step int, total int, description string)
+
+// RunPlan executes a plan against a device starting at virtual time startAt
+// (which must be at or after the device's current time — typically the end
+// of the phase and pause measurements), inserting the pause between runs and
+// re-enforcing the state at reset steps.
+func RunPlan(dev device.Device, plan Plan, startAt time.Duration, seed int64, progress ProgressFunc) (*Results, error) {
+	out := &Results{Device: dev.Name()}
+	t := startAt
+	for i, step := range plan.Steps {
+		switch step.Kind {
+		case StepReset:
+			if progress != nil {
+				progress(i+1, len(plan.Steps), "state reset (random fill)")
+			}
+			end, err := EnforceRandomState(dev, seed+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			if end > t {
+				t = end
+			}
+		case StepRun:
+			e := step.Exp
+			if progress != nil {
+				progress(i+1, len(plan.Steps), e.ID())
+			}
+			run, err := e.Run(dev, t)
+			if err != nil {
+				return nil, fmt.Errorf("methodology: %s: %w", e.ID(), err)
+			}
+			out.Results = append(out.Results, Result{Exp: e, Run: run})
+			t += run.Total + plan.Pause
+		}
+	}
+	out.Elapsed = t
+	return out, nil
+}

@@ -1,0 +1,134 @@
+// Package simtime provides a deterministic virtual clock and a small
+// discrete-event scheduler used by the device simulator and the parallel
+// pattern runner.
+//
+// All simulated time is expressed as time.Duration offsets from the start of
+// a run. Using virtual time makes every uFLIP measurement exactly
+// reproducible: the same pattern against the same device state always yields
+// the same per-IO response times, which is what the benchmarking methodology
+// of the paper (Section 4) needs in order to reason about start-up phases and
+// oscillation periods.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual nanosecond-resolution clock. The zero value is a clock
+// at time zero, ready to use.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Advancing by a negative duration is
+// a programming error and panics.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: Advance by negative duration %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock forward to t. Moving backwards is a programming
+// error and panics; advancing to the current time is a no-op.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t < c.now {
+		panic(fmt.Sprintf("simtime: AdvanceTo %v before current time %v", t, c.now))
+	}
+	c.now = t
+}
+
+// Reset rewinds the clock to zero.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func(now time.Duration)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler runs callbacks in virtual-time order against a Clock. It is the
+// backbone of the deterministic parallel-pattern runner: each simulated
+// process schedules its next IO submission as an event.
+type Scheduler struct {
+	clock *Clock
+	pq    eventHeap
+	seq   uint64
+}
+
+// NewScheduler returns a scheduler driving the given clock. If clock is nil a
+// private clock starting at zero is used.
+func NewScheduler(clock *Clock) *Scheduler {
+	if clock == nil {
+		clock = &Clock{}
+	}
+	return &Scheduler{clock: clock}
+}
+
+// Clock returns the clock the scheduler drives.
+func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// At schedules fn to run at virtual time t. Scheduling in the past is a
+// programming error and panics.
+func (s *Scheduler) At(t time.Duration, fn func(now time.Duration)) {
+	if t < s.clock.Now() {
+		panic(fmt.Sprintf("simtime: schedule at %v before now %v", t, s.clock.Now()))
+	}
+	s.seq++
+	heap.Push(&s.pq, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func(now time.Duration)) {
+	s.At(s.clock.Now()+d, fn)
+}
+
+// Pending reports the number of scheduled events not yet run.
+func (s *Scheduler) Pending() int { return len(s.pq) }
+
+// Run executes events in time order until none remain, advancing the clock
+// to each event's timestamp before invoking it. Callbacks may schedule
+// further events.
+func (s *Scheduler) Run() {
+	for len(s.pq) > 0 {
+		e := heap.Pop(&s.pq).(event)
+		s.clock.AdvanceTo(e.at)
+		e.fn(e.at)
+	}
+}
+
+// Step runs the single earliest event, if any, and reports whether one ran.
+func (s *Scheduler) Step() bool {
+	if len(s.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.pq).(event)
+	s.clock.AdvanceTo(e.at)
+	e.fn(e.at)
+	return true
+}

@@ -1,0 +1,128 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %v, want 0", c.Now())
+	}
+	c.Advance(3 * time.Millisecond)
+	c.Advance(2 * time.Millisecond)
+	if got := c.Now(); got != 5*time.Millisecond {
+		t.Fatalf("Now() = %v, want 5ms", got)
+	}
+	c.AdvanceTo(5 * time.Millisecond) // no-op
+	c.AdvanceTo(7 * time.Millisecond)
+	if got := c.Now(); got != 7*time.Millisecond {
+		t.Fatalf("Now() = %v, want 7ms", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset left clock at %v", c.Now())
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-time.Nanosecond)
+}
+
+func TestClockAdvanceToPastPanics(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo(past) did not panic")
+		}
+	}()
+	c.AdvanceTo(time.Millisecond)
+}
+
+func TestSchedulerRunsInTimeOrder(t *testing.T) {
+	s := NewScheduler(nil)
+	var order []int
+	s.At(30*time.Millisecond, func(time.Duration) { order = append(order, 3) })
+	s.At(10*time.Millisecond, func(time.Duration) { order = append(order, 1) })
+	s.At(20*time.Millisecond, func(time.Duration) { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran in order %v, want [1 2 3]", order)
+	}
+	if got := s.Clock().Now(); got != 30*time.Millisecond {
+		t.Fatalf("clock at %v after Run, want 30ms", got)
+	}
+}
+
+func TestSchedulerTieBreaksBySubmissionOrder(t *testing.T) {
+	s := NewScheduler(nil)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(time.Millisecond, func(time.Duration) { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events ran as %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSchedulerCallbacksMaySchedule(t *testing.T) {
+	s := NewScheduler(nil)
+	count := 0
+	var step func(now time.Duration)
+	step = func(now time.Duration) {
+		count++
+		if count < 4 {
+			s.After(time.Millisecond, step)
+		}
+	}
+	s.After(time.Millisecond, step)
+	s.Run()
+	if count != 4 {
+		t.Fatalf("chained events ran %d times, want 4", count)
+	}
+	if got := s.Clock().Now(); got != 4*time.Millisecond {
+		t.Fatalf("clock at %v, want 4ms", got)
+	}
+}
+
+func TestSchedulerStep(t *testing.T) {
+	s := NewScheduler(nil)
+	ran := 0
+	s.At(time.Millisecond, func(time.Duration) { ran++ })
+	s.At(2*time.Millisecond, func(time.Duration) { ran++ })
+	if !s.Step() || ran != 1 {
+		t.Fatalf("first Step ran %d events", ran)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	if !s.Step() || ran != 2 {
+		t.Fatalf("second Step ran %d events total", ran)
+	}
+	if s.Step() {
+		t.Fatal("Step on empty scheduler returned true")
+	}
+}
+
+func TestSchedulerPastSchedulingPanics(t *testing.T) {
+	s := NewScheduler(nil)
+	s.Clock().Advance(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(time.Millisecond, func(time.Duration) {})
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// PhaseAnalysis is the outcome of applying the two-phase model of Section 4.2
+// to a per-IO response-time series: an optional cheap start-up phase followed
+// by a running phase oscillating between two or more cost levels.
+type PhaseAnalysis struct {
+	// StartUp is the number of IOs in the start-up phase (0 when absent).
+	StartUp int
+	// Period is the estimated number of IOs in one oscillation of the
+	// running phase (0 when the series does not oscillate).
+	Period int
+	// Oscillates reports whether the running phase alternates between
+	// clearly separated cheap and expensive cost levels.
+	Oscillates bool
+	// CheapLevel and ExpensiveLevel are the centers of the two cost bands
+	// in the running phase, in seconds. When the series does not
+	// oscillate both equal the running-phase mean.
+	CheapLevel, ExpensiveLevel float64
+	// Threshold is the cost (seconds) used to classify an IO as expensive.
+	Threshold float64
+	// Running summarizes the running phase (start-up excluded).
+	Running Summary
+}
+
+// oscillationRatio is the minimum max/min spread (on the running phase)
+// required before we consider a series to oscillate rather than jitter.
+const oscillationRatio = 3.0
+
+// AnalyzePhases applies the two-phase model to a response-time trace. It is
+// deliberately conservative: the paper derives start-up and period by
+// inspecting plots, and the methodology only needs upper bounds (IOIgnore
+// must cover the start-up phase, IOCount must cover several periods).
+func AnalyzePhases(samples []time.Duration) PhaseAnalysis {
+	var a PhaseAnalysis
+	if len(samples) == 0 {
+		return a
+	}
+	// Characterize the tail half of the series; by then any start-up
+	// behaviour has ended so it represents the running phase.
+	tail := samples[len(samples)/2:]
+	tailSum := Summarize(tail)
+	if tailSum.Min <= 0 || tailSum.Max/tailSum.Min < oscillationRatio {
+		// Uniform running phase: no oscillation. The start-up phase, if
+		// any, is a prefix whose cost differs markedly from the tail.
+		a.Threshold = tailSum.Mean
+		a.StartUp = startupLength(samples, tailSum.Mean)
+		a.Running = Summarize(samples[a.StartUp:])
+		a.CheapLevel = a.Running.Mean
+		a.ExpensiveLevel = a.Running.Mean
+		return a
+	}
+	a.Oscillates = true
+	// Split the tail into cheap and expensive bands around the geometric
+	// midpoint of its extremes (costs spread over orders of magnitude, so
+	// log-space midpoint separates the bands robustly).
+	a.Threshold = math.Sqrt(tailSum.Min * tailSum.Max)
+	var cheap, exp Running
+	for _, d := range tail {
+		if d.Seconds() >= a.Threshold {
+			exp.Add(d.Seconds())
+		} else {
+			cheap.Add(d.Seconds())
+		}
+	}
+	if cheap.N() > 0 {
+		a.CheapLevel = cheap.Mean()
+	}
+	if exp.N() > 0 {
+		a.ExpensiveLevel = exp.Mean()
+	}
+	// Start-up phase: leading run of IOs below the expensive threshold
+	// that is longer than the oscillation gap observed in the tail.
+	gap := meanGap(tail, a.Threshold)
+	lead := 0
+	for lead < len(samples) && samples[lead].Seconds() < a.Threshold {
+		lead++
+	}
+	if gap > 0 && float64(lead) > 3*gap {
+		a.StartUp = lead
+	}
+	if gap > 0 {
+		a.Period = int(math.Ceil(gap))
+	}
+	a.Running = Summarize(samples[a.StartUp:])
+	return a
+}
+
+// startupLength returns the length of a leading prefix whose mean cost
+// differs from the running level by more than 2x in either direction.
+func startupLength(samples []time.Duration, runningMean float64) int {
+	if runningMean <= 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range samples {
+		s := d.Seconds()
+		if s > runningMean/2 && s < runningMean*2 {
+			break
+		}
+		n++
+	}
+	if n >= len(samples)/2 {
+		// A "start-up" covering most of the series is not a start-up.
+		return 0
+	}
+	return n
+}
+
+// meanGap returns the average distance in IOs between consecutive samples at
+// or above threshold (seconds), i.e. the oscillation period estimate.
+func meanGap(samples []time.Duration, threshold float64) float64 {
+	last := -1
+	var sum, count float64
+	for i, d := range samples {
+		if d.Seconds() >= threshold {
+			if last >= 0 {
+				sum += float64(i - last)
+				count++
+			}
+			last = i
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / count
+}
+
+// LingerLength counts how many leading samples of a series are inflated
+// relative to a baseline mean: it returns the index of the first sample of a
+// window of windowSize consecutive samples that all fall below
+// factor*baseline. It implements the pause-determination measurement of
+// Section 4.3 (how many sequential reads after a batch of random writes are
+// still affected by lingering asynchronous reclamation). Returns len(samples)
+// if the series never settles.
+func LingerLength(samples []time.Duration, baseline float64, factor float64, windowSize int) int {
+	if windowSize < 1 {
+		windowSize = 1
+	}
+	limit := baseline * factor
+	run := 0
+	for i, d := range samples {
+		if d.Seconds() <= limit {
+			run++
+			if run >= windowSize {
+				return i - windowSize + 1
+			}
+		} else {
+			run = 0
+		}
+	}
+	return len(samples)
+}

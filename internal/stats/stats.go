@@ -1,0 +1,186 @@
+// Package stats provides the statistical summaries uFLIP computes over
+// per-IO response times (Section 3.2, design principle 1: min, max, mean,
+// standard deviation per run), plus the series analysis helpers the
+// benchmarking methodology needs (running averages, start-up phase and
+// oscillation-period estimation, Section 4.2).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Running accumulates streaming statistics using Welford's algorithm, so a
+// run of millions of IOs can be summarized without retaining every sample.
+// The zero value is an empty accumulator ready for use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// AddDuration records one observation expressed as a duration, in seconds.
+func (r *Running) AddDuration(d time.Duration) { r.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean, or 0 if empty.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min returns the smallest observation, or 0 if empty.
+func (r *Running) Min() float64 {
+	return r.min
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (r *Running) Max() float64 {
+	return r.max
+}
+
+// Variance returns the sample variance (n-1 denominator), or 0 for fewer
+// than two observations.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Merge folds other into r, as if all of other's observations had been added
+// to r. Uses the parallel variance combination formula.
+func (r *Running) Merge(other Running) {
+	if other.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = other
+		return
+	}
+	n := r.n + other.n
+	delta := other.mean - r.mean
+	mean := r.mean + delta*float64(other.n)/float64(n)
+	m2 := r.m2 + other.m2 + delta*delta*float64(r.n)*float64(other.n)/float64(n)
+	if other.min < r.min {
+		r.min = other.min
+	}
+	if other.max > r.max {
+		r.max = other.max
+	}
+	r.n, r.mean, r.m2 = n, mean, m2
+}
+
+// Summary is an immutable snapshot of a Running accumulator. All values are
+// in seconds when produced from response times.
+type Summary struct {
+	N      int64   `json:"n"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+}
+
+// Summary returns a snapshot of the accumulated statistics.
+func (r *Running) Summary() Summary {
+	return Summary{N: r.n, Min: r.Min(), Max: r.Max(), Mean: r.mean, StdDev: r.StdDev()}
+}
+
+// String formats the summary with millisecond-scaled values, the unit the
+// paper reports.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3fms max=%.3fms mean=%.3fms sd=%.3fms",
+		s.N, s.Min*1e3, s.Max*1e3, s.Mean*1e3, s.StdDev*1e3)
+}
+
+// Summarize computes a Summary over a slice of durations.
+func Summarize(samples []time.Duration) Summary {
+	var r Running
+	for _, d := range samples {
+		r.AddDuration(d)
+	}
+	return r.Summary()
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of the samples using
+// linear interpolation between closest ranks. It returns 0 for an empty
+// slice. The input is not modified.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// Median returns the 50th percentile.
+func Median(samples []time.Duration) time.Duration { return Percentile(samples, 50) }
+
+// RunningAverage returns the prefix running average of the samples:
+// out[i] = mean(samples[0..i]). It is the series plotted as "Avg(rt)" in
+// Figures 3 and 4 of the paper.
+func RunningAverage(samples []time.Duration) []time.Duration {
+	out := make([]time.Duration, len(samples))
+	var sum time.Duration
+	for i, d := range samples {
+		sum += d
+		out[i] = sum / time.Duration(i+1)
+	}
+	return out
+}
+
+// RunningAverageFrom returns the running average computed only over
+// samples[from:], aligned so out[i] corresponds to samples[from+i]. It is
+// the "Avg(rt) excl." series of Figure 3 (running average excluding the
+// start-up phase).
+func RunningAverageFrom(samples []time.Duration, from int) []time.Duration {
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(samples) {
+		return nil
+	}
+	return RunningAverage(samples[from:])
+}

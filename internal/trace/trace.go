@@ -1,0 +1,153 @@
+// Package trace records uFLIP benchmark results — per-IO response times and
+// per-run summaries — and round-trips them through JSON and CSV, the formats
+// the paper's FlashIO tool and the uflip.org result repository use.
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"uflip/internal/stats"
+)
+
+// RunRecord is the serializable form of one benchmark run.
+type RunRecord struct {
+	// ID is the experiment identifier (e.g. "Granularity/SW/IOSize=32768").
+	ID string `json:"id"`
+	// Device names the device measured.
+	Device string `json:"device"`
+	// Micro, Base, Param and Value echo the experiment definition.
+	Micro string `json:"micro,omitempty"`
+	Base  string `json:"base,omitempty"`
+	Param string `json:"param,omitempty"`
+	Value int64  `json:"value,omitempty"`
+	// IOIgnore is the warm-up prefix excluded from Summary.
+	IOIgnore int `json:"io_ignore"`
+	// Summary covers the running phase.
+	Summary stats.Summary `json:"summary"`
+	// TotalSeconds is the end-to-end run duration.
+	TotalSeconds float64 `json:"total_seconds"`
+	// RTs holds per-IO response times in seconds (optional: summaries
+	// alone are much smaller).
+	RTs []float64 `json:"rts,omitempty"`
+}
+
+// ResponseTimes converts the stored per-IO series back to durations.
+func (r *RunRecord) ResponseTimes() []time.Duration {
+	out := make([]time.Duration, len(r.RTs))
+	for i, s := range r.RTs {
+		out[i] = time.Duration(s * float64(time.Second))
+	}
+	return out
+}
+
+// SetResponseTimes stores a per-IO series.
+func (r *RunRecord) SetResponseTimes(rts []time.Duration) {
+	r.RTs = make([]float64, len(rts))
+	for i, d := range rts {
+		r.RTs[i] = d.Seconds()
+	}
+}
+
+// WriteJSON writes records as newline-delimited JSON.
+func WriteJSON(w io.Writer, records []RunRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			return fmt.Errorf("trace: encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON reads newline-delimited JSON records.
+func ReadJSON(r io.Reader) ([]RunRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []RunRecord
+	for {
+		var rec RunRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// SaveJSON writes records to a file, creating parent directories.
+func SaveJSON(path string, records []RunRecord) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := WriteJSON(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJSON reads records from a file.
+func LoadJSON(path string) ([]RunRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// WriteSummaryCSV writes one row per run: id, device, micro, base, param,
+// value, n, min, max, mean, stddev (times in milliseconds, as the paper
+// reports them).
+func WriteSummaryCSV(w io.Writer, records []RunRecord) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id", "device", "micro", "base", "param", "value", "n", "min_ms", "max_ms", "mean_ms", "stddev_ms", "total_s"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	ms := func(s float64) string { return strconv.FormatFloat(s*1e3, 'f', 4, 64) }
+	for i := range records {
+		r := &records[i]
+		row := []string{
+			r.ID, r.Device, r.Micro, r.Base, r.Param,
+			strconv.FormatInt(r.Value, 10),
+			strconv.FormatInt(r.Summary.N, 10),
+			ms(r.Summary.Min), ms(r.Summary.Max), ms(r.Summary.Mean), ms(r.Summary.StdDev),
+			strconv.FormatFloat(r.TotalSeconds, 'f', 4, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRTSeriesCSV writes a per-IO series: io_number, rt_ms — the raw data
+// behind Figures 3, 4 and 5.
+func WriteRTSeriesCSV(w io.Writer, rts []time.Duration) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"io", "rt_ms"}); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	for i, rt := range rts {
+		if err := cw.Write([]string{strconv.Itoa(i), strconv.FormatFloat(rt.Seconds()*1e3, 'f', 4, 64)}); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

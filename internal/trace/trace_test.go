@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"uflip/internal/stats"
+)
+
+func sampleRecords() []RunRecord {
+	r1 := RunRecord{
+		ID: "Granularity/SW/IOSize=32768", Device: "memoright",
+		Micro: "Granularity", Base: "SW", Param: "IOSize", Value: 32768,
+		IOIgnore:     16,
+		Summary:      stats.Summary{N: 100, Min: 0.0003, Max: 0.01, Mean: 0.0005, StdDev: 0.0001},
+		TotalSeconds: 1.5,
+	}
+	r1.SetResponseTimes([]time.Duration{time.Millisecond, 2 * time.Millisecond})
+	r2 := RunRecord{ID: "baseline/RR", Device: "mtron", Summary: stats.Summary{N: 5, Mean: 0.001}}
+	return []RunRecord{r1, r2}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	records := sampleRecords()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round trip lost records: %d", len(got))
+	}
+	if got[0].ID != records[0].ID || got[0].Value != 32768 || got[0].Summary != records[0].Summary {
+		t.Fatalf("record mismatch: %+v", got[0])
+	}
+	rts := got[0].ResponseTimes()
+	if len(rts) != 2 || rts[0] != time.Millisecond || rts[1] != 2*time.Millisecond {
+		t.Fatalf("response times %v", rts)
+	}
+	if len(got[1].RTs) != 0 {
+		t.Fatal("summary-only record grew a series")
+	}
+}
+
+func TestSaveLoadJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "results.jsonl")
+	if err := SaveJSON(path, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d records", len(got))
+	}
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestSummaryCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummaryCSV(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "id,device,micro") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Times are reported in milliseconds.
+	if !strings.Contains(lines[1], "0.5000") { // mean 0.0005 s = 0.5 ms
+		t.Fatalf("mean not in ms: %q", lines[1])
+	}
+}
+
+func TestRTSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRTSeriesCSV(&buf, []time.Duration{time.Millisecond, 250 * time.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("series CSV lines = %d", len(lines))
+	}
+	if lines[1] != "0,1.0000" || lines[2] != "1,0.2500" {
+		t.Fatalf("series rows: %v", lines[1:])
+	}
+}
+
+func TestReadJSONMalformed(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
