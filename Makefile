@@ -1,0 +1,34 @@
+# Targets used verbatim by .github/workflows/ci.yml.
+GO ?= go
+
+.PHONY: build test lint bench binaries clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# One smoke iteration of every paper benchmark (and the engine speedup
+# benchmark); drop -benchtime for real measurements.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Compile every cmd/* and examples/* binary so example drift breaks the
+# build instead of rotting silently.
+binaries:
+	@mkdir -p bin
+	@set -e; for d in ./cmd/* ./examples/*; do \
+		[ -d "$$d" ] || continue; \
+		echo "building $$d"; \
+		$(GO) build -o "bin/$$(basename $$d)" "$$d"; \
+	done
+
+clean:
+	rm -rf bin

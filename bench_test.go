@@ -20,11 +20,15 @@ package uflip_test
 // fidelity against the paper (see EXPERIMENTS.md).
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"uflip/internal/core"
 	"uflip/internal/device"
+	"uflip/internal/engine"
 	"uflip/internal/flash"
 	"uflip/internal/ftl"
 	"uflip/internal/methodology"
@@ -48,15 +52,16 @@ func prepare(b *testing.B, key string, cfg paperexp.Config) (device.Device, time
 }
 
 // BenchmarkTable3 regenerates the paper's result-summary table, one
-// sub-benchmark per representative device.
+// sub-benchmark per representative device. The benchmark plan executes
+// through the parallel engine at GOMAXPROCS workers; results are identical
+// for any worker count.
 func BenchmarkTable3(b *testing.B) {
 	for _, p := range profile.Representatives() {
 		p := p
 		b.Run(p.Key, func(b *testing.B) {
 			cfg := benchCfg()
 			for i := 0; i < b.N; i++ {
-				dev, at := prepare(b, p.Key, cfg)
-				c, _, err := paperexp.Table3Row(dev, at, cfg)
+				c, _, err := paperexp.Table3RowParallel(context.Background(), p.Key, cfg, runtime.GOMAXPROCS(0))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -463,4 +468,52 @@ func BenchmarkAblationLogBlocks(b *testing.B) {
 
 func deviceName(prefix string, n int) string {
 	return prefix + "-" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+// --- Engine: parallel plan execution. ---
+
+// BenchmarkEngineSpeedup measures the wall-clock scaling of the parallel
+// engine on a fixed 16-run plan against the simulated Memoright. Every shard
+// is a full unit of work (device build + state enforcement + run), so the
+// plan is embarrassingly parallel: comparing ns/op across the worker-count
+// sub-benchmarks shows near-linear speedup up to the machine's core count
+// (run with GOMAXPROCS >= 8 to see the 8-worker point scale). The merged
+// results are byte-identical across all sub-benchmarks by construction
+// (engine.TestDeterministicMerge asserts this).
+func BenchmarkEngineSpeedup(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Capacity = 64 << 20
+	d := core.StandardDefaults()
+	d.IOCount = 512
+	d.RandomTarget = cfg.Capacity / 2
+	var exps []core.Experiment
+	for _, sz := range []int64{8 << 10, 16 << 10, 32 << 10, 64 << 10} {
+		dd := d
+		dd.IOSize = sz
+		for _, base := range core.Baselines {
+			exps = append(exps, core.Experiment{
+				Micro: "speedup", Base: base, Param: "IOSize", Value: sz, Pattern: base.Pattern(dd),
+			})
+		}
+	}
+	plan := methodology.BuildPlan(exps, cfg.Capacity, time.Second, nil)
+	factory := paperexp.ShardFactory("memoright", cfg)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%02d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := engine.ExecutePlan(context.Background(), plan, factory, engine.Options{
+					Workers: workers,
+					Seed:    cfg.Seed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Results) != len(exps) {
+					b.Fatalf("got %d results, want %d", len(res.Results), len(exps))
+				}
+			}
+			b.ReportMetric(float64(workers), "workers")
+		})
+	}
 }

@@ -12,15 +12,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"uflip/internal/core"
+	"uflip/internal/engine"
 	"uflip/internal/methodology"
+	"uflip/internal/paperexp"
 	"uflip/internal/profile"
 	"uflip/internal/report"
 	"uflip/internal/trace"
@@ -41,6 +46,7 @@ func run() error {
 		ioCount  = flag.Int("iocount", 1024, "base run length before methodology scaling")
 		seed     = flag.Int64("seed", 42, "random seed")
 		outDir   = flag.String("out", "", "directory for JSON/CSV results")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for plan execution (1 = sequential fallback; results are identical for any value)")
 		verbose  = flag.Bool("v", false, "log each run")
 	)
 	flag.Parse()
@@ -97,18 +103,39 @@ func run() error {
 		exps = append(exps, mb.Experiments...)
 	}
 	plan := methodology.BuildPlan(exps, dev.Capacity(), pauseRep.RecommendedPause, phases)
-	fmt.Printf("\nplan: %d runs, %d state resets\n", len(plan.Steps)-plan.Resets, plan.Resets)
-	var progress methodology.ProgressFunc
+	plan.Device = prof.Key
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("\nplan: %d runs, %d state resets; executing on %d workers\n",
+		len(plan.Steps)-plan.Resets, plan.Resets, workers)
+	var progress engine.ProgressFunc
 	if *verbose {
-		progress = func(step, total int, desc string) {
-			fmt.Printf("  [%d/%d] %s\n", step, total, desc)
+		progress = func(done, total int, desc string) {
+			fmt.Printf("  [%d/%d] %s\n", done, total, desc)
 		}
 	}
-	results, err := methodology.RunPlan(dev, plan, pauseRep.End+pauseRep.RecommendedPause, *seed, progress)
+	// Plan runs execute through the engine: each shard gets its own freshly
+	// built device with the state enforced from the shard's derived seed, so
+	// any worker count produces identical merged results. Ctrl-C cancels
+	// between runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	factory := paperexp.ShardFactory(prof.Key, paperexp.Config{
+		Capacity: *capacity,
+		Seed:     *seed,
+		Pause:    pauseRep.RecommendedPause,
+	})
+	results, err := engine.ExecutePlan(ctx, plan, factory, engine.Options{
+		Workers:  workers,
+		Seed:     *seed,
+		Progress: progress,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("benchmark complete: %d runs, %v of device time\n\n", len(results.Results), results.Elapsed.Round(time.Second))
+	fmt.Printf("benchmark complete: %d runs, %v of device time on the longest shard\n\n", len(results.Results), results.Elapsed.Round(time.Second))
 
 	// Summaries per micro-benchmark.
 	for _, mb := range selected {

@@ -6,7 +6,15 @@
 // simulator (NAND chips, flash translation layers, write buffers,
 // interconnect) calibrated to the paper's eleven devices.
 //
-// The implementation lives under internal/; see the README for the layout,
+// The module is named uflip and has no external dependencies; build and
+// test with "go build ./... && go test ./...", or try
+// "go run ./cmd/uflip -device memoright" for a full benchmark run.
+// Benchmark plans execute through the parallel engine (internal/engine):
+// deterministic shards on private simulated devices across a worker pool,
+// selected with the uflip command's -parallel flag (-parallel 1 is the
+// sequential fallback; any worker count produces identical results).
+//
+// The implementation lives under internal/; see README.md for the layout,
 // cmd/ for the executables, examples/ for runnable walk-throughs, and
 // bench_test.go in this directory for the benchmark harness that regenerates
 // every table and figure of the paper's evaluation.

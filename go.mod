@@ -1,0 +1,3 @@
+module uflip
+
+go 1.24

@@ -159,6 +159,9 @@ func ExecuteParallel(dev device.Device, p Pattern, degree int, startAt time.Dura
 		sub.TargetOffset = p.TargetOffset + int64(i)*subSize
 		sub.TargetSize = subSize
 		sub.IOCount = perProc
+		// The start-up phase is ignored globally over the merged series, not
+		// per process; a methodology-assigned IOIgnore may exceed perProc.
+		sub.IOIgnore = 0
 		sub.Seed = p.Seed + int64(i)*7919
 		if err := sub.Validate(); err != nil {
 			return nil, err
@@ -213,6 +216,15 @@ func ExecuteParallel(dev device.Device, p Pattern, degree int, startAt time.Dura
 	}
 	if len(run.RTs) == 0 {
 		return nil, fmt.Errorf("core: parallel run produced no IOs")
+	}
+	if run.IOIgnore >= len(run.RTs) {
+		// Rounding of perProc can leave fewer merged IOs than the global
+		// ignore; fall back to summarizing the whole series, as Execute does.
+		run.IOIgnore = 0
+		acc = stats.Running{}
+		for _, rt := range run.RTs {
+			acc.AddDuration(rt)
+		}
 	}
 	run.Summary = acc.Summary()
 	return run, nil

@@ -340,3 +340,39 @@ func TestExperimentRunDispatch(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestExecuteParallelLargeIgnore(t *testing.T) {
+	// A methodology-assigned IOIgnore larger than the per-process IO count
+	// must not fail sub-pattern validation: the start-up phase is ignored
+	// over the merged series, not per process.
+	d := StandardDefaults()
+	d.IOCount = 64
+	d.IOIgnore = 40
+	p := SW.Pattern(d)
+	run, err := ExecuteParallel(memDev(), p, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.IOIgnore != 40 {
+		t.Fatalf("IOIgnore = %d, want 40", run.IOIgnore)
+	}
+	if run.Summary.N != int64(len(run.RTs)-40) {
+		t.Fatalf("summary covers %d IOs, want %d", run.Summary.N, len(run.RTs)-40)
+	}
+
+	// When rounding leaves fewer merged IOs than the ignore, summarize the
+	// whole series instead of an empty one.
+	d.IOCount = 9
+	d.IOIgnore = 8
+	p = SW.Pattern(d)
+	run, err = ExecuteParallel(memDev(), p, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.IOIgnore != 0 {
+		t.Fatalf("IOIgnore = %d, want fallback 0", run.IOIgnore)
+	}
+	if run.Summary.N != int64(len(run.RTs)) {
+		t.Fatalf("summary covers %d IOs, want all %d", run.Summary.N, len(run.RTs))
+	}
+}

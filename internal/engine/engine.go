@@ -1,0 +1,272 @@
+// Package engine executes uFLIP benchmark plans in parallel. The paper's
+// methodology (Section 4) produces plans of many mutually independent runs:
+// each run measures one experiment after the device state has been enforced,
+// and runs are separated by pauses (or full state resets) precisely so they
+// do not interfere. The engine exploits that independence: it partitions a
+// methodology.Plan into deterministic shards, gives every shard its own
+// freshly built simulated device (so runs never share mutable FTL state) and
+// its own derived RNG seed, executes the shards across a bounded worker
+// pool, and merges the per-run results ordered by the run's index in the
+// plan — never by completion time — so the merged output is byte-identical
+// for any worker count.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"uflip/internal/core"
+	"uflip/internal/device"
+	"uflip/internal/methodology"
+)
+
+// Shard is an independent unit of scheduling: a contiguous group of plan
+// runs executed back-to-back on a private device instance. Shard boundaries
+// depend only on the plan (and the ShardRuns option), never on the worker
+// count, which is what keeps parallel execution deterministic.
+type Shard struct {
+	// Index is the shard's position in the partition.
+	Index int
+	// Seed is the shard's derived RNG seed; the device factory uses it for
+	// state enforcement so every shard starts from a well-defined,
+	// reproducible state (Section 4.1).
+	Seed int64
+	// Exps are the experiments of this shard, in plan order.
+	Exps []core.Experiment
+	// FirstRun is the global run index of Exps[0] within the plan.
+	FirstRun int
+}
+
+// DeviceFactory builds the private device a shard runs against and returns
+// it together with the virtual time at which measurements may start
+// (typically the end of state enforcement plus the inter-run pause). It is
+// called from worker goroutines and must not share mutable state across
+// calls.
+type DeviceFactory func(shard Shard) (device.Device, time.Duration, error)
+
+// ProgressFunc observes engine execution: done runs completed out of total,
+// and the ID of the run that just finished. It is called from a single
+// goroutine at a time (the engine serializes calls) but not necessarily in
+// run-index order.
+type ProgressFunc func(done, total int, desc string)
+
+// Options tunes plan execution.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	// Workers == 1 is the sequential fallback: shards execute inline, in
+	// order, on the calling goroutine.
+	Workers int
+	// ShardRuns caps the number of runs per shard; <= 0 means 1 (every run
+	// gets its own shard and its own device — maximal parallelism and the
+	// strongest isolation, at the price of one state enforcement per run).
+	// Raising it amortizes the per-shard device build + enforcement over
+	// more runs. It must stay a fixed value across executions that are
+	// expected to compare byte-identically: the partition — and with it
+	// every derived seed — is a function of ShardRuns, never of Workers.
+	ShardRuns int
+	// Seed is the base seed from which per-shard seeds are derived.
+	Seed int64
+	// Progress, when non-nil, is invoked after every completed run.
+	Progress ProgressFunc
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o Options) shardRuns() int {
+	if o.ShardRuns <= 0 {
+		return 1
+	}
+	return o.ShardRuns
+}
+
+// shardSeed mixes the base seed with the shard index (splitmix64 finalizer)
+// so shards draw from decorrelated random streams while remaining a pure
+// function of (base seed, shard index).
+func shardSeed(base int64, index int) int64 {
+	z := uint64(base) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Partition splits a plan into shards of at most shardRuns runs each
+// (shardRuns <= 0 means 1). A StepReset always forces a shard boundary: a
+// fresh shard device re-enforces the state from scratch, which is exactly
+// the reset semantics, so explicit reset steps collapse into boundaries.
+// The partition is a pure function of the plan and shardRuns.
+func Partition(plan methodology.Plan, baseSeed int64, shardRuns int) []Shard {
+	if shardRuns <= 0 {
+		shardRuns = 1
+	}
+	var shards []Shard
+	var cur []core.Experiment
+	runIndex := 0
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		shards = append(shards, Shard{
+			Index:    len(shards),
+			Exps:     cur,
+			FirstRun: runIndex - len(cur),
+		})
+		cur = nil
+	}
+	for _, step := range plan.Steps {
+		switch step.Kind {
+		case methodology.StepReset:
+			flush()
+		case methodology.StepRun:
+			cur = append(cur, step.Exp)
+			runIndex++
+			if len(cur) >= shardRuns {
+				flush()
+			}
+		}
+	}
+	flush()
+	for i := range shards {
+		shards[i].Seed = shardSeed(baseSeed, i)
+	}
+	return shards
+}
+
+// ExecutePlan runs every experiment of the plan through the worker pool and
+// returns the merged results, ordered by run index. The same plan, factory
+// and options (besides Workers) yield byte-identical results for any worker
+// count. Elapsed is the virtual time of the longest shard timeline, since
+// shards run on independent devices concurrently.
+//
+// Cancelling ctx stops the engine between runs; ExecutePlan then returns
+// ctx.Err() and discards partial results.
+func ExecutePlan(ctx context.Context, plan methodology.Plan, factory DeviceFactory, opts Options) (*methodology.Results, error) {
+	shards := Partition(plan, opts.Seed, opts.shardRuns())
+	total := 0
+	for _, s := range shards {
+		total += len(s.Exps)
+	}
+	out := &methodology.Results{Device: plan.Device}
+	if total == 0 {
+		return out, ctx.Err()
+	}
+	merged := make([]methodology.Result, total)
+	ends := make([]time.Duration, len(shards))
+
+	var mu sync.Mutex // guards done and Progress calls
+	done := 0
+	observe := func(id string) {
+		if opts.Progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		opts.Progress(done, total, id)
+		mu.Unlock()
+	}
+
+	runShard := func(ctx context.Context, s Shard) error {
+		dev, at, err := factory(s)
+		if err != nil {
+			return fmt.Errorf("engine: shard %d: %w", s.Index, err)
+		}
+		t := at
+		for i := range s.Exps {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			res, end, err := methodology.RunExperiments(dev, s.Exps[i:i+1], plan.Pause, t)
+			if err != nil {
+				return fmt.Errorf("engine: shard %d: %w", s.Index, err)
+			}
+			merged[s.FirstRun+i] = res[0]
+			t = end
+			observe(res[0].Exp.ID())
+		}
+		ends[s.Index] = t
+		return nil
+	}
+
+	if opts.workers() == 1 {
+		// Sequential fallback: same shards, same seeds, same per-shard
+		// devices — just executed inline in partition order.
+		for _, s := range shards {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := runShard(ctx, s); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := runPool(ctx, shards, opts.workers(), runShard); err != nil {
+		return nil, err
+	}
+
+	for i := range merged {
+		out.Results = append(out.Results, merged[i])
+	}
+	if out.Device == "" && len(out.Results) > 0 {
+		out.Device = out.Results[0].Run.Device
+	}
+	for _, end := range ends {
+		if end > out.Elapsed {
+			out.Elapsed = end
+		}
+	}
+	return out, nil
+}
+
+// runPool dispatches shards to a bounded pool of workers, cancelling the
+// remaining work on the first error.
+func runPool(ctx context.Context, shards []Shard, workers int, run func(context.Context, Shard) error) error {
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	jobs := make(chan Shard)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				if poolCtx.Err() != nil {
+					continue // drain without running
+				}
+				if err := run(poolCtx, s); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for _, s := range shards {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err // outer cancellation wins over the error it provoked
+	}
+	return firstErr
+}

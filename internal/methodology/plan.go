@@ -164,6 +164,25 @@ func (r *Results) Find(micro string, base core.Baseline, value int64) *Result {
 // ProgressFunc observes plan execution; either argument may be zero-valued.
 type ProgressFunc func(step int, total int, description string)
 
+// RunExperiments executes a contiguous slice of experiments back-to-back on
+// dev starting at virtual time startAt, inserting pause between runs. It is
+// the unit of work shared by the sequential RunPlan below and the parallel
+// engine (internal/engine), which calls it on a private device per shard.
+func RunExperiments(dev device.Device, exps []core.Experiment, pause time.Duration, startAt time.Duration) ([]Result, time.Duration, error) {
+	out := make([]Result, 0, len(exps))
+	t := startAt
+	for i := range exps {
+		e := exps[i]
+		run, err := e.Run(dev, t)
+		if err != nil {
+			return nil, t, fmt.Errorf("methodology: %s: %w", e.ID(), err)
+		}
+		out = append(out, Result{Exp: e, Run: run})
+		t += run.Total + pause
+	}
+	return out, t, nil
+}
+
 // RunPlan executes a plan against a device starting at virtual time startAt
 // (which must be at or after the device's current time — typically the end
 // of the phase and pause measurements), inserting the pause between runs and
@@ -189,12 +208,12 @@ func RunPlan(dev device.Device, plan Plan, startAt time.Duration, seed int64, pr
 			if progress != nil {
 				progress(i+1, len(plan.Steps), e.ID())
 			}
-			run, err := e.Run(dev, t)
+			res, end, err := RunExperiments(dev, []core.Experiment{e}, plan.Pause, t)
 			if err != nil {
-				return nil, fmt.Errorf("methodology: %s: %w", e.ID(), err)
+				return nil, err
 			}
-			out.Results = append(out.Results, Result{Exp: e, Run: run})
-			t += run.Total + plan.Pause
+			out.Results = append(out.Results, res...)
+			t = end
 		}
 	}
 	out.Elapsed = t

@@ -7,11 +7,13 @@
 package paperexp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"uflip/internal/core"
 	"uflip/internal/device"
+	"uflip/internal/engine"
 	"uflip/internal/methodology"
 	"uflip/internal/profile"
 	"uflip/internal/report"
@@ -213,6 +215,67 @@ func table3Experiments(capacity int64, d core.Defaults) []core.Experiment {
 		}
 	}
 	return exps
+}
+
+// ShardFactory returns the engine device factory for a profile: every shard
+// gets a freshly built device at the configured capacity with the random
+// initial state enforced using the shard's derived seed, so shards never
+// share mutable FTL state and execution parallelizes freely.
+func ShardFactory(key string, cfg Config) engine.DeviceFactory {
+	return func(s engine.Shard) (device.Device, time.Duration, error) {
+		p, err := profile.ByKey(key)
+		if err != nil {
+			return nil, 0, err
+		}
+		dev, err := p.BuildWithCapacity(cfg.Capacity)
+		if err != nil {
+			return nil, 0, err
+		}
+		end, err := methodology.EnforceRandomState(dev, s.Seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		return dev, end + cfg.Pause, nil
+	}
+}
+
+// RunPlanParallel executes a benchmark plan for the named device through the
+// parallel engine with the given worker count (<= 0 means GOMAXPROCS, 1 is
+// the sequential fallback). The merged results are ordered by run index and
+// are byte-identical for any worker count.
+func RunPlanParallel(ctx context.Context, key string, cfg Config, plan methodology.Plan, workers int, progress engine.ProgressFunc) (*methodology.Results, error) {
+	if plan.Device == "" {
+		plan.Device = key
+	}
+	return engine.ExecutePlan(ctx, plan, ShardFactory(key, cfg), engine.Options{
+		Workers:  workers,
+		Seed:     cfg.Seed,
+		Progress: progress,
+	})
+}
+
+// Table3RowParallel measures one device's key characteristics like Table3Row
+// but executes the benchmark plan through the parallel engine: the phase
+// measurement (which calibrates IOIgnore/IOCount and is inherently
+// sequential) runs on a probe device, then every plan run executes on its
+// own freshly enforced device across the worker pool.
+func Table3RowParallel(ctx context.Context, key string, cfg Config, workers int) (report.DeviceCharacter, *methodology.Results, error) {
+	probe, at, err := Prepare(key, cfg)
+	if err != nil {
+		return report.DeviceCharacter{}, nil, err
+	}
+	d := cfg.defaults(probe.Capacity())
+	phases, err := methodology.MeasurePhases(probe, d, 3072, at)
+	if err != nil {
+		return report.DeviceCharacter{}, nil, err
+	}
+	exps := table3Experiments(probe.Capacity(), d)
+	plan := methodology.BuildPlan(exps, probe.Capacity(), cfg.Pause, phases)
+	res, err := RunPlanParallel(ctx, key, cfg, plan, workers, nil)
+	if err != nil {
+		return report.DeviceCharacter{}, nil, err
+	}
+	return report.Characterize(res, d.IOSize), res, nil
 }
 
 // Table3Row measures one device's key characteristics (its Table 3 row),
