@@ -1,7 +1,7 @@
 # Targets used verbatim by .github/workflows/ci.yml.
 GO ?= go
 
-.PHONY: build test lint bench binaries clean
+.PHONY: build test lint bench bench-json binaries clean
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ lint:
 # benchmark); drop -benchtime for real measurements.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Machine-readable benchmark results: the same smoke run streamed as
+# test2json events into BENCH_<date>.json, for tracking results over time.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json . > BENCH_$$(date +%Y%m%d).json
 
 # Compile every cmd/* and examples/* binary so example drift breaks the
 # build instead of rotting silently.

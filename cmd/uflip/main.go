@@ -4,11 +4,18 @@
 // IOIgnore and IOCount, pause determination, and a benchmark plan with
 // disjoint sequential-write target spaces and state resets.
 //
+// The workload subcommand replays application-shaped workloads instead of
+// the paper's micro-benchmarks: synthetic generators (OLTP page mixes,
+// log-append streams, Zipfian hot/cold access, bursty phases) and CSV block
+// traces, sharded deterministically across workers.
+//
 // Examples:
 //
 //	uflip -device memoright                        # full benchmark
 //	uflip -device kingston-dti -micro Locality,Order
 //	uflip -device mtron -out results/              # JSON + CSV results
+//	uflip workload -device memoright -kind oltp -ops 4096
+//	uflip workload -device memoright -trace mytrace.csv -parallel 8
 package main
 
 import (
@@ -32,7 +39,13 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "workload" {
+		err = runWorkload(os.Args[2:])
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "uflip:", err)
 		os.Exit(1)
 	}

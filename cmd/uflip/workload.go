@@ -1,0 +1,197 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"uflip/internal/engine"
+	"uflip/internal/paperexp"
+	"uflip/internal/profile"
+	"uflip/internal/report"
+	"uflip/internal/trace"
+	"uflip/internal/workload"
+)
+
+// runWorkload implements the "uflip workload" subcommand: synthetic
+// application-shaped workloads and CSV block-trace replays against a
+// simulated device, sharded deterministically across workers.
+func runWorkload(args []string) error {
+	fs := flag.NewFlagSet("uflip workload", flag.ContinueOnError)
+	var (
+		devKey    = fs.String("device", "", "device profile to replay against (see flashio -list)")
+		capacity  = fs.Int64("capacity", 1<<30, "simulated capacity in bytes")
+		kind      = fs.String("kind", "oltp", "workload kind: oltp, append, zipf, bursty (or pass -trace)")
+		traceFile = fs.String("trace", "", "replay a block-trace CSV (offset,size,mode,gap_us) instead of a synthetic workload")
+		ops       = fs.Int("ops", 2048, "synthetic stream length in IOs")
+		seed      = fs.Int64("seed", 42, "random seed (stream generation and per-segment device state)")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count (1 = sequential fallback; results are identical for any value)")
+		segment   = fs.Int("segment", 512, "ops per replay segment (fixed segmentation keeps parallel replay deterministic)")
+		window    = fs.Int("window", 256, "ios per windowed summary in the report")
+		pageSize  = fs.Int64("page", 8*1024, "page size for oltp/zipf/bursty (bytes)")
+		ioSize    = fs.Int64("iosize", 32*1024, "append size for the append workload (bytes)")
+		target    = fs.Int64("target", 0, "target area in bytes (default: half the capacity)")
+		readFrac  = fs.Float64("read-frac", 0.7, "read fraction for oltp/zipf/bursty, in [0,1]")
+		streams   = fs.Int("streams", 4, "concurrent append streams for the append workload")
+		zipfS     = fs.Float64("zipf-s", 1.2, "Zipf skew for the zipf workload (> 1)")
+		think     = fs.Duration("think", 0, "inter-arrival gap between ops (0 = back-to-back)")
+		burstOps  = fs.Int("burst", 32, "ops per burst for the bursty workload")
+		burstGap  = fs.Duration("burst-gap", 100*time.Millisecond, "pause before each burst for the bursty workload")
+		dumpTrace = fs.String("dump-trace", "", "also write the generated stream as a block-trace CSV to this path")
+		outDir    = fs.String("out", "", "directory for JSON/CSV replay results")
+		verbose   = fs.Bool("v", false, "log each completed segment")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *devKey == "" {
+		return fmt.Errorf("pass -device <profile>")
+	}
+	prof, err := profile.ByKey(*devKey)
+	if err != nil {
+		return err
+	}
+	if *target <= 0 {
+		*target = *capacity / 2
+	}
+
+	gen, err := buildGenerator(*kind, *traceFile, generatorKnobs{
+		pageSize: *pageSize, ioSize: *ioSize, target: *target,
+		readFrac: *readFrac, streams: *streams, zipfS: *zipfS,
+		think: *think, burstOps: *burstOps, burstGap: *burstGap,
+		ops: *ops, seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	stream, err := gen.Generate()
+	if err != nil {
+		return err
+	}
+	if *dumpTrace != "" {
+		if err := workload.SaveTrace(*dumpTrace, stream); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d IOs)\n", *dumpTrace, len(stream))
+	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("== %s (%s)\n", prof.Key, prof.String())
+	fmt.Printf("replaying %s: %d IOs in segments of %d on %d workers\n",
+		gen.Name(), len(stream), *segment, workers)
+	var progress engine.ProgressFunc
+	if *verbose {
+		progress = func(done, total int, desc string) {
+			fmt.Printf("  [%d/%d] %s\n", done, total, desc)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	factory := paperexp.ShardFactory(prof.Key, paperexp.Config{
+		Capacity: *capacity,
+		Seed:     *seed,
+		Pause:    time.Second,
+	})
+	res, err := workload.ReplayParallel(ctx, gen.Name(), stream, factory, workload.Options{
+		SegmentOps: *segment,
+		Workers:    workers,
+		Seed:       *seed,
+		WindowOps:  *window,
+		Progress:   progress,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := report.WorkloadSection(os.Stdout, res); err != nil {
+		return err
+	}
+	if *outDir != "" {
+		if err := saveWorkloadResults(*outDir, prof.Key, res); err != nil {
+			return err
+		}
+		fmt.Printf("\nresults written under %s\n", *outDir)
+	}
+	return nil
+}
+
+// generatorKnobs carries the flag values a synthetic generator may use.
+type generatorKnobs struct {
+	pageSize, ioSize, target int64
+	readFrac, zipfS          float64
+	streams, burstOps, ops   int
+	think, burstGap          time.Duration
+	seed                     int64
+}
+
+func buildGenerator(kind, traceFile string, k generatorKnobs) (workload.Generator, error) {
+	if traceFile != "" {
+		ops, err := workload.LoadTrace(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		return workload.Trace{Label: filepath.Base(traceFile), Ops: ops}, nil
+	}
+	oltp := workload.OLTP{
+		PageSize: k.pageSize, TargetSize: k.target, ReadFraction: k.readFrac,
+		Think: k.think, Count: k.ops, Seed: k.seed,
+	}
+	switch kind {
+	case "oltp":
+		return oltp, nil
+	case "append":
+		return workload.LogAppend{
+			Streams: k.streams, IOSize: k.ioSize, TargetSize: k.target,
+			Gap: k.think, Count: k.ops,
+		}, nil
+	case "zipf":
+		return workload.Zipfian{
+			PageSize: k.pageSize, TargetSize: k.target, S: k.zipfS,
+			ReadFraction: k.readFrac, Think: k.think, Count: k.ops, Seed: k.seed,
+		}, nil
+	case "bursty":
+		return workload.Bursty{Inner: oltp, BurstOps: k.burstOps, Gap: k.burstGap}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload kind %q (want oltp, append, zipf, bursty, or pass -trace)", kind)
+	}
+}
+
+// saveWorkloadResults persists the replay like benchmark runs: one RunRecord
+// per segment (with the per-IO series) as JSON lines plus a summary CSV.
+func saveWorkloadResults(dir, devKey string, res *workload.Result) error {
+	records := make([]trace.RunRecord, 0, len(res.Segments))
+	for i, run := range res.Segments {
+		rec := trace.RunRecord{
+			ID:           fmt.Sprintf("workload/%s/seg=%d", res.Name, i),
+			Device:       res.Device,
+			Micro:        "workload",
+			Param:        "Segment",
+			Value:        int64(i),
+			Summary:      run.Summary,
+			TotalSeconds: run.Total.Seconds(),
+		}
+		rec.SetResponseTimes(run.RTs)
+		records = append(records, rec)
+	}
+	if err := trace.SaveJSON(filepath.Join(dir, devKey+"-workload.jsonl"), records); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, devKey+"-workload.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteSummaryCSV(f, records)
+}

@@ -14,6 +14,19 @@
 // selected with the uflip command's -parallel flag (-parallel 1 is the
 // sequential fallback; any worker count produces identical results).
 //
+// Beyond the paper's micro-benchmarks, the workload subsystem
+// (internal/workload, surfaced as "uflip workload") drives the simulated
+// devices with application-shaped workloads: synthetic generators — an
+// OLTP-style random page read/write mix (-kind oltp), log-structured
+// append streams (-kind append), Zipfian hot/cold access (-kind zipf) and
+// bursty arrival phases (-kind bursty) — plus a block-trace replayer for a
+// simple CSV format (offset,size,mode,gap_us; header optional, '#'
+// comments, gaps stored losslessly). Streams are pure functions of their
+// configuration and seed; replays split into fixed segments that execute
+// on private devices across the worker pool and merge in stream order, so
+// results are byte-identical for any -parallel value. Long replays report
+// windowed summaries (internal/stats) so drift over time stays visible.
+//
 // The implementation lives under internal/; see README.md for the layout,
 // cmd/ for the executables, examples/ for runnable walk-throughs, and
 // bench_test.go in this directory for the benchmark harness that regenerates

@@ -159,18 +159,7 @@ func ExecutePlan(ctx context.Context, plan methodology.Plan, factory DeviceFacto
 	}
 	merged := make([]methodology.Result, total)
 	ends := make([]time.Duration, len(shards))
-
-	var mu sync.Mutex // guards done and Progress calls
-	done := 0
-	observe := func(id string) {
-		if opts.Progress == nil {
-			return
-		}
-		mu.Lock()
-		done++
-		opts.Progress(done, total, id)
-		mu.Unlock()
-	}
+	observe := opts.observer(total)
 
 	runShard := func(ctx context.Context, s Shard) error {
 		dev, at, err := factory(s)
@@ -194,18 +183,7 @@ func ExecutePlan(ctx context.Context, plan methodology.Plan, factory DeviceFacto
 		return nil
 	}
 
-	if opts.workers() == 1 {
-		// Sequential fallback: same shards, same seeds, same per-shard
-		// devices — just executed inline in partition order.
-		for _, s := range shards {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if err := runShard(ctx, s); err != nil {
-				return nil, err
-			}
-		}
-	} else if err := runPool(ctx, shards, opts.workers(), runShard); err != nil {
+	if err := executeShards(ctx, shards, opts.workers(), runShard); err != nil {
 		return nil, err
 	}
 
@@ -221,6 +199,42 @@ func ExecutePlan(ctx context.Context, plan methodology.Plan, factory DeviceFacto
 		}
 	}
 	return out, nil
+}
+
+// observer returns a serialized per-completion progress callback over total
+// units of work; a nil Progress yields a no-op.
+func (o Options) observer(total int) func(id string) {
+	if o.Progress == nil {
+		return func(string) {}
+	}
+	var mu sync.Mutex
+	done := 0
+	return func(id string) {
+		mu.Lock()
+		done++
+		o.Progress(done, total, id)
+		mu.Unlock()
+	}
+}
+
+// executeShards runs the shards inline in partition order when workers == 1
+// (the sequential fallback: same shards, same seeds, same per-shard devices)
+// and through the bounded pool otherwise. Shared by plan execution and the
+// stream-job executor so pool, cancellation and progress semantics cannot
+// diverge.
+func executeShards(ctx context.Context, shards []Shard, workers int, run func(context.Context, Shard) error) error {
+	if workers == 1 {
+		for _, s := range shards {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(ctx, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runPool(ctx, shards, workers, run)
 }
 
 // runPool dispatches shards to a bounded pool of workers, cancelling the

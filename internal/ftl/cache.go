@@ -114,8 +114,13 @@ type WriteCache struct {
 	idleCredit time.Duration
 }
 
-// NewWriteCache wraps inner with a region-coalescing write-back buffer.
+// NewWriteCache wraps inner with a region-coalescing write-back buffer. A
+// zero (or negative) EvictBatch takes the documented default of 1 region per
+// eviction episode.
 func NewWriteCache(inner Translator, cfg CacheConfig, model CostModel) (*WriteCache, error) {
+	if cfg.EvictBatch <= 0 {
+		cfg.EvictBatch = 1
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -291,10 +296,8 @@ func (c *WriteCache) Write(off, length int64) (Ops, error) {
 	// Capacity bound: evict LRU zone regions (streams as a last resort),
 	// a batch at a time.
 	if c.totalLines > c.capLines {
+		// EvictBatch is normalized to >= 1 by NewWriteCache.
 		batch := c.cfg.EvictBatch
-		if batch < 1 {
-			batch = 1
-		}
 		for i := 0; (i < batch || c.totalLines > c.capLines) && c.totalLines > 0; i++ {
 			var r *cacheRegion
 			if c.zoneLRU.Len() > 0 {

@@ -124,8 +124,12 @@ type PageFTL struct {
 }
 
 // NewPageFTL builds a page-mapped FTL over the array. The flash must be in
-// its factory (all-erased) state.
+// its factory (all-erased) state. A zero (or negative) GCBatch takes the
+// documented default of 1 victim per collection episode.
 func NewPageFTL(arr *Array, cfg PageConfig, model CostModel) (*PageFTL, error) {
+	if cfg.GCBatch <= 0 {
+		cfg.GCBatch = 1
+	}
 	if err := cfg.validate(arr); err != nil {
 		return nil, err
 	}
@@ -197,11 +201,8 @@ func (f *PageFTL) slotOf(block, slot int) int64 {
 func (f *PageFTL) allocBlock(ops *Ops, forGC bool) (int, error) {
 	if !forGC {
 		for f.free.Len() < 2 {
-			batch := f.cfg.GCBatch
-			if batch < 1 {
-				batch = 1
-			}
-			for i := 0; i < batch && f.victims.Len() > 0; i++ {
+			// GCBatch is normalized to >= 1 by NewPageFTL.
+			for i := 0; i < f.cfg.GCBatch && f.victims.Len() > 0; i++ {
 				if err := f.collectOne(ops); err != nil {
 					return 0, err
 				}

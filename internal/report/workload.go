@@ -1,0 +1,52 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"uflip/internal/stats"
+	"uflip/internal/workload"
+)
+
+// WorkloadTable condenses a workload replay into one summary table: the
+// merged totals followed by one row per window, so drift over the stream
+// (cache warm-up, free-pool drain) stays visible.
+func WorkloadTable(res *workload.Result) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("workload %s on %s: %d IOs in %d segment(s), %v of device time",
+			res.Name, res.Device, res.Ops, len(res.Segments), res.Elapsed.Round(time.Millisecond)),
+		Headers: []string{"window", "ios", "mean(ms)", "min(ms)", "max(ms)", "sd(ms)"},
+	}
+	addRow := func(label string, s stats.Summary) {
+		t.AddRow(label, s.N, s.Mean*1e3, s.Min*1e3, s.Max*1e3, s.StdDev*1e3)
+	}
+	addRow("total", res.Total)
+	for _, w := range res.Windows {
+		addRow(fmt.Sprintf("[%d:%d)", w.Start, w.Start+w.Summary.N), w.Summary)
+	}
+	return t
+}
+
+// WorkloadSection renders the workload report section: the summary table
+// plus a per-segment breakdown when the replay was split.
+func WorkloadSection(w io.Writer, res *workload.Result) error {
+	if err := WorkloadTable(res).Render(w); err != nil {
+		return err
+	}
+	if len(res.Segments) <= 1 {
+		return nil
+	}
+	seg := &Table{
+		Title:   "per-segment replay (merged in stream order; identical for any worker count)",
+		Headers: []string{"segment", "ios", "mean(ms)", "max(ms)", "device time"},
+	}
+	for _, run := range res.Segments {
+		seg.AddRow(run.Name, len(run.RTs), run.Summary.Mean*1e3, run.Summary.Max*1e3,
+			run.Total.Round(time.Millisecond).String())
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return seg.Render(w)
+}

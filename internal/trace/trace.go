@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -39,11 +40,13 @@ type RunRecord struct {
 	RTs []float64 `json:"rts,omitempty"`
 }
 
-// ResponseTimes converts the stored per-IO series back to durations.
+// ResponseTimes converts the stored per-IO series back to durations. The
+// stored seconds are rounded (not truncated) to the nearest nanosecond so a
+// duration survives SetResponseTimes -> ResponseTimes unchanged.
 func (r *RunRecord) ResponseTimes() []time.Duration {
 	out := make([]time.Duration, len(r.RTs))
 	for i, s := range r.RTs {
-		out[i] = time.Duration(s * float64(time.Second))
+		out[i] = time.Duration(math.Round(s * float64(time.Second)))
 	}
 	return out
 }
@@ -109,24 +112,33 @@ func LoadJSON(path string) ([]RunRecord, error) {
 	return ReadJSON(f)
 }
 
+// lossless formats a float so that parsing the text back yields the exact
+// same float64: the shortest decimal representation that round-trips.
+// Fixed-precision formatting (the previous 'f'/4 format) dropped digits, so
+// a write -> read -> write cycle drifted the stored times.
+func lossless(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// summaryHeader is the column layout of the summary CSV. Times are stored in
+// seconds at full precision; multiply by 1e3 for the milliseconds the paper
+// reports.
+var summaryHeader = []string{"id", "device", "micro", "base", "param", "value", "n", "min_s", "max_s", "mean_s", "stddev_s", "total_s"}
+
 // WriteSummaryCSV writes one row per run: id, device, micro, base, param,
-// value, n, min, max, mean, stddev (times in milliseconds, as the paper
-// reports them).
+// value, n, min, max, mean, stddev, total (times in seconds, formatted
+// losslessly so write -> read -> write is byte-stable).
 func WriteSummaryCSV(w io.Writer, records []RunRecord) error {
 	cw := csv.NewWriter(w)
-	header := []string{"id", "device", "micro", "base", "param", "value", "n", "min_ms", "max_ms", "mean_ms", "stddev_ms", "total_s"}
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(summaryHeader); err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
-	ms := func(s float64) string { return strconv.FormatFloat(s*1e3, 'f', 4, 64) }
 	for i := range records {
 		r := &records[i]
 		row := []string{
 			r.ID, r.Device, r.Micro, r.Base, r.Param,
 			strconv.FormatInt(r.Value, 10),
 			strconv.FormatInt(r.Summary.N, 10),
-			ms(r.Summary.Min), ms(r.Summary.Max), ms(r.Summary.Mean), ms(r.Summary.StdDev),
-			strconv.FormatFloat(r.TotalSeconds, 'f', 4, 64),
+			lossless(r.Summary.Min), lossless(r.Summary.Max), lossless(r.Summary.Mean), lossless(r.Summary.StdDev),
+			lossless(r.TotalSeconds),
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("trace: %w", err)
@@ -136,18 +148,98 @@ func WriteSummaryCSV(w io.Writer, records []RunRecord) error {
 	return cw.Error()
 }
 
-// WriteRTSeriesCSV writes a per-IO series: io_number, rt_ms — the raw data
-// behind Figures 3, 4 and 5.
+// ReadSummaryCSV parses the output of WriteSummaryCSV back into summary-only
+// records (the per-IO series is not part of the summary CSV).
+func ReadSummaryCSV(r io.Reader) ([]RunRecord, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: summary CSV is empty")
+	}
+	// The full header must match: older files stored milliseconds under
+	// *_ms columns, and accepting them here would silently misread every
+	// time by a factor of 1000.
+	if len(rows[0]) != len(summaryHeader) {
+		return nil, fmt.Errorf("trace: unexpected summary CSV header %v", rows[0])
+	}
+	for i, h := range summaryHeader {
+		if rows[0][i] != h {
+			return nil, fmt.Errorf("trace: unexpected summary CSV header %v (column %d is %q, want %q)", rows[0], i, rows[0][i], h)
+		}
+	}
+	out := make([]RunRecord, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != len(summaryHeader) {
+			return nil, fmt.Errorf("trace: summary row %d has %d columns, want %d", i+1, len(row), len(summaryHeader))
+		}
+		var rec RunRecord
+		rec.ID, rec.Device, rec.Micro, rec.Base, rec.Param = row[0], row[1], row[2], row[3], row[4]
+		fields := []struct {
+			name string
+			text string
+			dst  *float64
+		}{
+			{"min_s", row[7], &rec.Summary.Min},
+			{"max_s", row[8], &rec.Summary.Max},
+			{"mean_s", row[9], &rec.Summary.Mean},
+			{"stddev_s", row[10], &rec.Summary.StdDev},
+			{"total_s", row[11], &rec.TotalSeconds},
+		}
+		if rec.Value, err = strconv.ParseInt(row[5], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: summary row %d value: %w", i+1, err)
+		}
+		if rec.Summary.N, err = strconv.ParseInt(row[6], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: summary row %d n: %w", i+1, err)
+		}
+		for _, f := range fields {
+			if *f.dst, err = strconv.ParseFloat(f.text, 64); err != nil {
+				return nil, fmt.Errorf("trace: summary row %d %s: %w", i+1, f.name, err)
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// WriteRTSeriesCSV writes a per-IO series: io_number, rt_s — the raw data
+// behind Figures 3, 4 and 5, in seconds at full precision.
 func WriteRTSeriesCSV(w io.Writer, rts []time.Duration) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"io", "rt_ms"}); err != nil {
+	if err := cw.Write([]string{"io", "rt_s"}); err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
 	for i, rt := range rts {
-		if err := cw.Write([]string{strconv.Itoa(i), strconv.FormatFloat(rt.Seconds()*1e3, 'f', 4, 64)}); err != nil {
+		if err := cw.Write([]string{strconv.Itoa(i), lossless(rt.Seconds())}); err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// ReadRTSeriesCSV parses the output of WriteRTSeriesCSV back into durations,
+// rounding each value to the nearest nanosecond.
+func ReadRTSeriesCSV(r io.Reader) ([]time.Duration, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	// Require the exact header: an older io,rt_ms file read as seconds
+	// would inflate every duration by a factor of 1000.
+	if len(rows) == 0 || len(rows[0]) != 2 || rows[0][0] != "io" || rows[0][1] != "rt_s" {
+		return nil, fmt.Errorf("trace: unexpected RT series CSV header %v (want io,rt_s)", rows[0])
+	}
+	out := make([]time.Duration, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		s, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: RT series row %d: %w", i+1, err)
+		}
+		out = append(out, time.Duration(math.Round(s*float64(time.Second))))
+	}
+	return out, nil
 }

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
+	"math/rand"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -77,9 +79,9 @@ func TestSummaryCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "id,device,micro") {
 		t.Fatalf("header = %q", lines[0])
 	}
-	// Times are reported in milliseconds.
-	if !strings.Contains(lines[1], "0.5000") { // mean 0.0005 s = 0.5 ms
-		t.Fatalf("mean not in ms: %q", lines[1])
+	// Times are stored in seconds at full precision.
+	if !strings.Contains(lines[1], ",0.0005,") {
+		t.Fatalf("mean not stored losslessly in seconds: %q", lines[1])
 	}
 }
 
@@ -92,8 +94,132 @@ func TestRTSeriesCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("series CSV lines = %d", len(lines))
 	}
-	if lines[1] != "0,1.0000" || lines[2] != "1,0.2500" {
+	if lines[1] != "0,0.001" || lines[2] != "1,0.00025" {
 		t.Fatalf("series rows: %v", lines[1:])
+	}
+}
+
+// TestResponseTimesRoundTrip pins the SetResponseTimes -> ResponseTimes
+// identity: the stored float seconds must round (not truncate) back to the
+// original nanosecond durations.
+func TestResponseTimesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rts := []time.Duration{
+		1, 7, 999, // sub-microsecond corner cases
+		time.Microsecond + 1,
+		333 * time.Microsecond,
+		time.Millisecond,
+		27*time.Millisecond + 123456,
+		time.Second + 1,
+		90 * time.Minute,
+	}
+	for i := 0; i < 1000; i++ {
+		rts = append(rts, time.Duration(rng.Int63n(int64(2*time.Hour))))
+	}
+	var rec RunRecord
+	rec.SetResponseTimes(rts)
+	got := rec.ResponseTimes()
+	if len(got) != len(rts) {
+		t.Fatalf("round trip changed length: %d -> %d", len(rts), len(got))
+	}
+	for i := range rts {
+		if got[i] != rts[i] {
+			t.Fatalf("rt %d drifted: %v -> %v (%+d ns)", i, rts[i], got[i], got[i]-rts[i])
+		}
+	}
+}
+
+// TestSummaryCSVRoundTrip verifies write -> read recovers the exact floats
+// and that a second write is byte-identical to the first (fuzz-style over
+// random values).
+func TestSummaryCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	records := sampleRecords()
+	for i := 0; i < 200; i++ {
+		records = append(records, RunRecord{
+			ID:     fmt.Sprintf("fuzz/%d", i),
+			Device: "memoright",
+			Value:  rng.Int63n(1 << 20),
+			Summary: stats.Summary{
+				N:      rng.Int63n(1 << 20),
+				Min:    rng.Float64() * 1e-3,
+				Max:    rng.Float64() * 10,
+				Mean:   rng.ExpFloat64() * 1e-3,
+				StdDev: rng.Float64(),
+			},
+			TotalSeconds: rng.Float64() * 1e4,
+		})
+	}
+	var first bytes.Buffer
+	if err := WriteSummaryCSV(&first, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSummaryCSV(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(records))
+	}
+	for i := range records {
+		if got[i].Summary != records[i].Summary || got[i].TotalSeconds != records[i].TotalSeconds {
+			t.Fatalf("record %d floats drifted:\nwrote %+v total=%v\nread  %+v total=%v",
+				i, records[i].Summary, records[i].TotalSeconds, got[i].Summary, got[i].TotalSeconds)
+		}
+	}
+	var second bytes.Buffer
+	if err := WriteSummaryCSV(&second, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("write -> read -> write is not byte-stable")
+	}
+}
+
+// TestReadCSVRejectsLegacyHeaders pins that files written by the old
+// millisecond-column format are rejected loudly instead of being parsed as
+// seconds (a silent 1000x unit error).
+func TestReadCSVRejectsLegacyHeaders(t *testing.T) {
+	legacySummary := "id,device,micro,base,param,value,n,min_ms,max_ms,mean_ms,stddev_ms,total_s\n" +
+		"x,memoright,,,,0,1,0.5,0.5,0.5,0,1.0\n"
+	if _, err := ReadSummaryCSV(strings.NewReader(legacySummary)); err == nil {
+		t.Fatal("legacy ms summary CSV accepted")
+	}
+	legacySeries := "io,rt_ms\n0,0.5\n"
+	if _, err := ReadRTSeriesCSV(strings.NewReader(legacySeries)); err == nil {
+		t.Fatal("legacy ms RT series CSV accepted")
+	}
+}
+
+// TestRTSeriesCSVRoundTrip does the same for the per-IO series CSV.
+func TestRTSeriesCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rts := make([]time.Duration, 2000)
+	for i := range rts {
+		rts[i] = time.Duration(rng.Int63n(int64(time.Minute)))
+	}
+	var first bytes.Buffer
+	if err := WriteRTSeriesCSV(&first, rts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRTSeriesCSV(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rts) {
+		t.Fatalf("read %d samples, wrote %d", len(got), len(rts))
+	}
+	for i := range rts {
+		if got[i] != rts[i] {
+			t.Fatalf("sample %d drifted: %v -> %v", i, rts[i], got[i])
+		}
+	}
+	var second bytes.Buffer
+	if err := WriteRTSeriesCSV(&second, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("RT series write -> read -> write is not byte-stable")
 	}
 }
 

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"uflip/internal/device"
+)
+
+// The block-trace CSV format is one IO per row:
+//
+//	offset,size,mode,gap_us
+//	4096,8192,R,0
+//	131072,32768,W,120.5
+//
+// offset and size are bytes (integers), mode is R or W (case-insensitive),
+// and gap_us is the inter-arrival gap in microseconds since the previous
+// submission (a float; 0 means back-to-back). The header row is optional and
+// lines starting with '#' are comments. Gaps are written with the shortest
+// decimal representation that parses back to the same float, so a
+// write -> read -> write cycle is byte-stable.
+
+// traceHeader is the canonical header row WriteTrace emits.
+var traceHeader = []string{"offset", "size", "mode", "gap_us"}
+
+// WriteTrace writes ops in the block-trace CSV format.
+func WriteTrace(w io.Writer, ops []Op) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	for i, op := range ops {
+		row := []string{
+			strconv.FormatInt(op.IO.Off, 10),
+			strconv.FormatInt(op.IO.Size, 10),
+			op.IO.Mode.String(),
+			strconv.FormatFloat(float64(op.Gap)/1e3, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("workload: trace row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a block-trace CSV into ops. The header row is optional,
+// '#' lines are comments, and every data row is validated (non-negative
+// offset and gap, positive size, R/W mode).
+func ReadTrace(r io.Reader) ([]Op, error) {
+	cr := csv.NewReader(r)
+	cr.Comment = '#'
+	cr.FieldsPerRecord = len(traceHeader)
+	var out []Op
+	for row := 0; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: %w", row, err)
+		}
+		if row == 0 && strings.EqualFold(strings.TrimSpace(rec[0]), traceHeader[0]) {
+			continue // optional header
+		}
+		op, err := parseTraceRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: %w", row, err)
+		}
+		out = append(out, op)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: trace holds no IOs")
+	}
+	return out, nil
+}
+
+func parseTraceRow(rec []string) (Op, error) {
+	var op Op
+	off, err := strconv.ParseInt(strings.TrimSpace(rec[0]), 10, 64)
+	if err != nil {
+		return op, fmt.Errorf("offset: %w", err)
+	}
+	size, err := strconv.ParseInt(strings.TrimSpace(rec[1]), 10, 64)
+	if err != nil {
+		return op, fmt.Errorf("size: %w", err)
+	}
+	var mode device.Mode
+	switch strings.ToUpper(strings.TrimSpace(rec[2])) {
+	case "R":
+		mode = device.Read
+	case "W":
+		mode = device.Write
+	default:
+		return op, fmt.Errorf("mode %q (want R or W)", rec[2])
+	}
+	gapUS, err := strconv.ParseFloat(strings.TrimSpace(rec[3]), 64)
+	if err != nil {
+		return op, fmt.Errorf("gap_us: %w", err)
+	}
+	switch {
+	case off < 0:
+		return op, fmt.Errorf("offset %d must be non-negative", off)
+	case size <= 0:
+		return op, fmt.Errorf("size %d must be positive", size)
+	case gapUS < 0 || math.IsNaN(gapUS) || math.IsInf(gapUS, 0):
+		return op, fmt.Errorf("gap_us %v must be a non-negative finite number", gapUS)
+	case gapUS*1e3 >= float64(math.MaxInt64):
+		// The float->Duration conversion would overflow into a negative gap.
+		return op, fmt.Errorf("gap_us %v exceeds the representable range", gapUS)
+	}
+	op.IO = device.IO{Mode: mode, Off: off, Size: size}
+	op.Gap = time.Duration(math.Round(gapUS * 1e3))
+	return op, nil
+}
+
+// SaveTrace writes ops to a file, creating parent directories.
+func SaveTrace(path string, ops []Op) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	if err := WriteTrace(f, ops); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a block-trace CSV from a file.
+func LoadTrace(path string) ([]Op, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// Trace adapts a parsed op stream to the Generator interface so replayed
+// traces flow through the same reporting path as synthetic workloads.
+type Trace struct {
+	// Label names the trace in reports (e.g. the file name).
+	Label string
+	// Ops is the parsed stream.
+	Ops []Op
+}
+
+// Name labels the workload.
+func (t Trace) Name() string {
+	if t.Label == "" {
+		return "trace"
+	}
+	return "trace(" + t.Label + ")"
+}
+
+// Generate returns the parsed stream.
+func (t Trace) Generate() ([]Op, error) {
+	if len(t.Ops) == 0 {
+		return nil, fmt.Errorf("workload: trace holds no IOs")
+	}
+	return t.Ops, nil
+}

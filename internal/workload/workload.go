@@ -1,0 +1,221 @@
+// Package workload turns the uFLIP reproduction into a scenario-diverse
+// benchmark: synthetic application-shaped workloads (OLTP page mixes,
+// log-structured append streams, Zipfian hot/cold access, bursty arrival
+// phases) and a block-trace replayer, all expressed as deterministic streams
+// of timed IOs driven against any simulated device.
+//
+// A workload is a flat []Op — each op an IO plus the inter-arrival gap since
+// the previous submission. Streams are pure functions of their generator
+// configuration (including the seed), so the same configuration always
+// yields the identical stream. Replay is open-loop: op i is submitted at
+// submit(i-1) + gap(i) regardless of completions, and the device's queueing
+// shows up in the measured response times — exactly how a trace recorded on
+// a real system is meant to be replayed.
+//
+// Long replays route through internal/engine: the stream is split into
+// contiguous segments at fixed op boundaries, every segment replays on its
+// own freshly built device (private FTL state, per-segment derived seed),
+// and the per-segment runs merge in stream order — so the merged result is
+// byte-identical for any worker count.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"uflip/internal/core"
+	"uflip/internal/device"
+	"uflip/internal/engine"
+	"uflip/internal/stats"
+)
+
+// Op is one timed IO of a workload: the request plus the inter-arrival gap
+// between the previous op's submission and this one's.
+type Op struct {
+	Gap time.Duration
+	IO  device.IO
+}
+
+// Generator produces a deterministic op stream: the same configuration
+// (seed included) always yields the identical stream.
+type Generator interface {
+	// Name labels the workload in reports.
+	Name() string
+	// Generate materializes the stream, validating the configuration.
+	Generate() ([]Op, error)
+}
+
+// Replay drives dev with the ops open-loop starting at virtual time startAt:
+// op i is submitted at submit(i-1) + Gap(i). A busy device queues the
+// request, and the wait is part of the measured response time. The returned
+// run summarizes every op (IOIgnore 0 — replays have no methodology-defined
+// warm-up to discard).
+func Replay(dev device.Device, ops []Op, startAt time.Duration) (*core.Run, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("workload: empty op stream")
+	}
+	run := &core.Run{
+		Device:      dev.Name(),
+		RTs:         make([]time.Duration, 0, len(ops)),
+		SubmitTimes: make([]time.Duration, 0, len(ops)),
+	}
+	t := startAt
+	var end time.Duration
+	var acc stats.Running
+	for i, op := range ops {
+		if op.Gap < 0 {
+			return nil, fmt.Errorf("workload: op %d has negative inter-arrival gap %v", i, op.Gap)
+		}
+		t += op.Gap
+		done, err := dev.Submit(t, op.IO)
+		if err != nil {
+			return nil, fmt.Errorf("workload: op %d (%s off=%d size=%d): %w", i, op.IO.Mode, op.IO.Off, op.IO.Size, err)
+		}
+		rt := done - t
+		run.RTs = append(run.RTs, rt)
+		run.SubmitTimes = append(run.SubmitTimes, t)
+		acc.AddDuration(rt)
+		if done > end {
+			end = done
+		}
+	}
+	run.Summary = acc.Summary()
+	run.Total = end - startAt
+	return run, nil
+}
+
+// Segment is a contiguous slice of a workload stream, the engine's unit of
+// parallel replay.
+type Segment struct {
+	// Index is the segment's position in the stream.
+	Index int
+	// Start is the stream index of the segment's first op.
+	Start int
+	// Ops are the segment's ops, in stream order.
+	Ops []Op
+}
+
+// Split cuts the stream into contiguous segments of at most segmentOps ops
+// (segmentOps <= 0 yields a single segment). The partition is a pure
+// function of the stream and segmentOps — never of the worker count — which
+// is what keeps parallel replay deterministic.
+func Split(ops []Op, segmentOps int) []Segment {
+	if segmentOps <= 0 || segmentOps >= len(ops) {
+		return []Segment{{Ops: ops}}
+	}
+	segs := make([]Segment, 0, (len(ops)+segmentOps-1)/segmentOps)
+	for start := 0; start < len(ops); start += segmentOps {
+		end := start + segmentOps
+		if end > len(ops) {
+			end = len(ops)
+		}
+		segs = append(segs, Segment{Index: len(segs), Start: start, Ops: ops[start:end]})
+	}
+	return segs
+}
+
+// Options tunes a parallel replay.
+type Options struct {
+	// SegmentOps caps ops per engine job (<= 0: the whole stream is one
+	// segment). It must stay fixed across executions expected to compare
+	// byte-identically: the partition is a function of SegmentOps, never of
+	// Workers.
+	SegmentOps int
+	// Workers bounds the engine worker pool; <= 0 means GOMAXPROCS, 1 is
+	// the sequential fallback.
+	Workers int
+	// Seed is the base seed for per-segment device state enforcement.
+	Seed int64
+	// WindowOps sizes the windowed summaries over the merged stream
+	// (<= 0: 256).
+	WindowOps int
+	// Progress, when non-nil, observes segment completions.
+	Progress engine.ProgressFunc
+}
+
+func (o Options) windowOps() int {
+	if o.WindowOps <= 0 {
+		return 256
+	}
+	return o.WindowOps
+}
+
+// Result is the outcome of a (possibly parallel) workload replay.
+type Result struct {
+	// Name echoes the workload.
+	Name string
+	// Device names the device replayed against.
+	Device string
+	// Ops is the stream length.
+	Ops int
+	// Segments holds the per-segment runs, in stream order.
+	Segments []*core.Run
+	// Total summarizes every op of the stream.
+	Total stats.Summary
+	// Windows are fixed-size windowed summaries over the merged stream,
+	// exposing drift (cache warm-up, free-pool drain) a single summary
+	// would average away.
+	Windows []stats.Window
+	// Elapsed is the summed virtual duration of the segments — the
+	// stream's device time as if replayed back-to-back.
+	Elapsed time.Duration
+}
+
+// ReplayParallel replays the stream through the engine: Split segments, one
+// private device per segment (built by factory from the segment's derived
+// seed), runs merged in stream order. The result is byte-identical for any
+// opts.Workers value.
+func ReplayParallel(ctx context.Context, name string, ops []Op, factory engine.DeviceFactory, opts Options) (*Result, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("workload: empty op stream")
+	}
+	segs := Split(ops, opts.SegmentOps)
+	jobs := make([]engine.Job, len(segs))
+	for i, seg := range segs {
+		seg := seg
+		jobs[i] = engine.Job{
+			ID: fmt.Sprintf("%s/seg=%d", name, seg.Index),
+			Run: func(dev device.Device, startAt time.Duration) (*core.Run, error) {
+				run, err := Replay(dev, seg.Ops, startAt)
+				if err != nil {
+					return nil, err
+				}
+				run.Name = fmt.Sprintf("%s[%d:%d]", name, seg.Start, seg.Start+len(seg.Ops))
+				return run, nil
+			},
+		}
+	}
+	runs, err := engine.ExecuteJobs(ctx, jobs, factory, engine.Options{
+		Workers:  opts.Workers,
+		Seed:     opts.Seed,
+		Progress: opts.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Name: name, Ops: len(ops), Segments: runs}
+	w := stats.NewWindowed(opts.windowOps())
+	for _, run := range runs {
+		if res.Device == "" {
+			res.Device = run.Device
+		}
+		for _, rt := range run.RTs {
+			w.AddDuration(rt)
+		}
+		res.Elapsed += run.Total
+	}
+	res.Total = w.Total()
+	res.Windows = w.Windows()
+	return res, nil
+}
+
+// Generate materializes a generator's stream and replays it in parallel: the
+// convenience path the uflip workload subcommand and the examples use.
+func Generate(ctx context.Context, g Generator, factory engine.DeviceFactory, opts Options) (*Result, error) {
+	ops, err := g.Generate()
+	if err != nil {
+		return nil, err
+	}
+	return ReplayParallel(ctx, g.Name(), ops, factory, opts)
+}
