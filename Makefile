@@ -1,7 +1,7 @@
 # Targets used verbatim by .github/workflows/ci.yml.
 GO ?= go
 
-.PHONY: build test lint bench bench-json binaries clean
+.PHONY: build test lint bench bench-json bench-check binaries clean
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,13 @@ bench:
 # test2json events into BENCH_<date>.json, for tracking results over time.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json . > BENCH_$$(date +%Y%m%d).json
+
+# Compare the latest bench-json output against the committed baseline; fails
+# on >20% ns/op regression of the pinned benchmarks (EngineSpeedup, Table3).
+# The newest dated file is picked by mtime so a run spanning midnight still
+# compares what bench-json just wrote.
+bench-check: bench-json
+	$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json "$$(ls -t BENCH_2*.json | head -1)"
 
 # Compile every cmd/* and examples/* binary so example drift breaks the
 # build instead of rotting silently.

@@ -473,13 +473,13 @@ func deviceName(prefix string, n int) string {
 // --- Engine: parallel plan execution. ---
 
 // BenchmarkEngineSpeedup measures the wall-clock scaling of the parallel
-// engine on a fixed 16-run plan against the simulated Memoright. Every shard
-// is a full unit of work (device build + state enforcement + run), so the
-// plan is embarrassingly parallel: comparing ns/op across the worker-count
-// sub-benchmarks shows near-linear speedup up to the machine's core count
-// (run with GOMAXPROCS >= 8 to see the 8-worker point scale). The merged
-// results are byte-identical across all sub-benchmarks by construction
-// (engine.TestDeterministicMerge asserts this).
+// engine on a fixed 16-run plan against the simulated Memoright. The state
+// is enforced once on a master device and every shard runs on a clone of
+// it, so per-shard work is snapshot + run: comparing ns/op across the
+// worker-count sub-benchmarks shows the pool's scaling up to the machine's
+// core count. The merged results are byte-identical across all
+// sub-benchmarks by construction (engine.TestDeterministicMerge and
+// engine.TestMasterCloneVsRebuildIdentical assert this).
 func BenchmarkEngineSpeedup(b *testing.B) {
 	cfg := benchCfg()
 	cfg.Capacity = 64 << 20

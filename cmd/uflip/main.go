@@ -61,11 +61,22 @@ func run() error {
 		outDir   = flag.String("out", "", "directory for JSON/CSV results")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for plan execution (1 = sequential fallback; results are identical for any value)")
 		verbose  = flag.Bool("v", false, "log each run")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit (inspect with go tool pprof)")
 	)
 	flag.Parse()
 	if *devKey == "" {
 		return fmt.Errorf("pass -device <profile>")
 	}
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "uflip:", perr)
+		}
+	}()
 	prof, err := profile.ByKey(*devKey)
 	if err != nil {
 		return err

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles starts the optional pprof captures behind the -cpuprofile
+// and -memprofile flags. The returned stop function finishes both captures:
+// it must run before the process exits for the profiles to be readable
+// (inspect them with `go tool pprof <binary> <file>`). Empty paths disable
+// the respective profile.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile, memFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if memPath != "" {
+		// Create up front so a bad path fails before the run, not after.
+		memFile, err = os.Create(memPath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if memFile != nil {
+			runtime.GC() // materialize the final live-heap numbers
+			werr := pprof.WriteHeapProfile(memFile)
+			if cerr := memFile.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("memprofile: %w", werr)
+			}
+		}
+		return nil
+	}, nil
+}

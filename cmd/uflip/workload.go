@@ -46,6 +46,8 @@ func runWorkload(args []string) error {
 		dumpTrace = fs.String("dump-trace", "", "also write the generated stream as a block-trace CSV to this path")
 		outDir    = fs.String("out", "", "directory for JSON/CSV replay results")
 		verbose   = fs.Bool("v", false, "log each completed segment")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit (inspect with go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -56,6 +58,15 @@ func runWorkload(args []string) error {
 	if *devKey == "" {
 		return fmt.Errorf("pass -device <profile>")
 	}
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "uflip:", perr)
+		}
+	}()
 	prof, err := profile.ByKey(*devKey)
 	if err != nil {
 		return err

@@ -14,6 +14,20 @@
 // selected with the uflip command's -parallel flag (-parallel 1 is the
 // sequential fallback; any worker count produces identical results).
 //
+// Performance: the whole simulation stack snapshots — flash chips, arrays,
+// every translation layer and the simulated device itself expose deep
+// Clone() — so the engine enforces the paper's well-defined device state
+// (Section 4.1) once per (profile, capacity, seed) master and hands every
+// shard a clone instead of replaying the enforcement IOs; tests pin the
+// clone path byte-identical to rebuilding per shard. The per-IO path is
+// allocation-free in steady state (generic zero-boxing heaps replace
+// container/heap, map bookkeeping runs on a fixed ring, SimDevice.Submit
+// is pinned at 0 allocs/op), and stats.Percentiles derives any number of
+// quantiles from one sort. Profile any run with the uflip command's
+// -cpuprofile/-memprofile flags; track the benchmark trajectory with
+// "make bench-json" and gate regressions with "make bench-check"
+// (cmd/benchcheck against the committed BENCH_baseline.json).
+//
 // Beyond the paper's micro-benchmarks, the workload subsystem
 // (internal/workload, surfaced as "uflip workload") drives the simulated
 // devices with application-shaped workloads: synthetic generators — an

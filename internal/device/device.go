@@ -66,6 +66,15 @@ type Device interface {
 	Name() string
 }
 
+// Cloneable is a Device whose full state can be snapshotted. CloneDevice
+// returns a deep copy that evolves independently: submitting the same IO
+// sequence to the clone and to the original yields identical completion
+// times. Simulated devices are cloneable; real devices are not.
+type Cloneable interface {
+	Device
+	CloneDevice() Device
+}
+
 func checkIO(io IO, capacity int64) error {
 	if io.Off < 0 || io.Size < 0 || io.Off+io.Size > capacity {
 		return ErrOutOfRange

@@ -81,6 +81,20 @@ func NewSimDevice(cfg SimConfig, top ftl.Translator, model ftl.CostModel) (*SimD
 	return &SimDevice{cfg: cfg, top: top, model: model}, nil
 }
 
+// Clone returns a deep copy of the whole simulated device: the translation
+// stack (and the flash chips underneath) plus the bus/flash pipeline clocks,
+// so the clone resumes from exactly the original's virtual-time state.
+// Cloning an enforced device is how the engine gives every shard a private
+// well-defined initial state without replaying the enforcement IOs.
+func (d *SimDevice) Clone() *SimDevice {
+	g := *d
+	g.top = d.top.Clone()
+	return &g
+}
+
+// CloneDevice implements device.Cloneable.
+func (d *SimDevice) CloneDevice() Device { return d.Clone() }
+
 // Capacity returns the logical device size.
 func (d *SimDevice) Capacity() int64 { return d.top.Capacity() }
 

@@ -30,9 +30,12 @@ import (
 type Shard struct {
 	// Index is the shard's position in the partition.
 	Index int
-	// Seed is the shard's derived RNG seed; the device factory uses it for
-	// state enforcement so every shard starts from a well-defined,
-	// reproducible state (Section 4.1).
+	// Seed is the shard's derived RNG seed, a pure function of (base seed,
+	// shard index). Factories that build and enforce a device per shard can
+	// use it to give every shard its own reproducible random state; the
+	// snapshot-based factories (Master/CloningFactory) instead enforce one
+	// master state from the base seed and clone it, so every shard starts
+	// from the same well-defined state (Section 4.1).
 	Seed int64
 	// Exps are the experiments of this shard, in plan order.
 	Exps []core.Experiment

@@ -1,0 +1,125 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"uflip/internal/device"
+	"uflip/internal/engine"
+	"uflip/internal/methodology"
+	"uflip/internal/profile"
+)
+
+// masterBuild returns a master build function over the memoright profile
+// that counts how many times the device is actually built and enforced.
+func masterBuild(t testing.TB, builds *int) func() (device.Cloneable, time.Duration, error) {
+	t.Helper()
+	prof, err := profile.ByKey("memoright")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() (device.Cloneable, time.Duration, error) {
+		*builds++
+		dev, err := prof.BuildWithCapacity(testCapacity)
+		if err != nil {
+			return nil, 0, err
+		}
+		end, err := methodology.EnforceRandomState(dev, 42)
+		if err != nil {
+			return nil, 0, err
+		}
+		return dev, end + time.Second, nil
+	}
+}
+
+// TestMasterBuildsOnce runs a full plan through a cloning factory and checks
+// the master device is built and enforced exactly once, no matter how many
+// shards and workers consume clones.
+func TestMasterBuildsOnce(t *testing.T) {
+	plan := testPlan(t)
+	builds := 0
+	res, err := engine.ExecutePlan(context.Background(), plan,
+		engine.CloningFactory(masterBuild(t, &builds)),
+		engine.Options{Workers: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 8 {
+		t.Fatalf("got %d results, want 8", len(res.Results))
+	}
+	if builds != 1 {
+		t.Fatalf("master built %d times, want 1", builds)
+	}
+}
+
+// TestMasterCloneVsRebuildIdentical is the snapshot subsystem's end-to-end
+// oracle at the engine level: executing the same plan with per-shard clones
+// of one enforced master yields byte-identical merged results to rebuilding
+// and re-enforcing a device per shard with the same seed — for any worker
+// count.
+func TestMasterCloneVsRebuildIdentical(t *testing.T) {
+	plan := testPlan(t)
+	prof, err := profile.ByKey("memoright")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuild := func(engine.Shard) (device.Device, time.Duration, error) {
+		dev, err := prof.BuildWithCapacity(testCapacity)
+		if err != nil {
+			return nil, 0, err
+		}
+		end, err := methodology.EnforceRandomState(dev, 42)
+		if err != nil {
+			return nil, 0, err
+		}
+		return dev, end + time.Second, nil
+	}
+	var blobs [][]byte
+	for _, workers := range []int{1, 4} {
+		builds := 0
+		clone := engine.CloningFactory(masterBuild(t, &builds))
+		for _, factory := range []engine.DeviceFactory{rebuild, clone} {
+			res, err := engine.ExecutePlan(context.Background(), plan, factory, engine.Options{
+				Workers: workers,
+				Seed:    42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs = append(blobs, blob)
+		}
+	}
+	for i := 1; i < len(blobs); i++ {
+		if !bytes.Equal(blobs[0], blobs[i]) {
+			t.Fatalf("clone-based results diverge from rebuild path (blob %d)", i)
+		}
+	}
+}
+
+// TestMasterPropagatesBuildError checks a failing build surfaces as the
+// engine error and is not retried per shard.
+func TestMasterPropagatesBuildError(t *testing.T) {
+	plan := testPlan(t)
+	boom := errors.New("boom")
+	builds := 0
+	_, err := engine.ExecutePlan(context.Background(), plan,
+		engine.CloningFactory(func() (device.Cloneable, time.Duration, error) {
+			builds++
+			return nil, 0, boom
+		}),
+		engine.Options{Workers: 4, Seed: 42})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if builds != 1 {
+		t.Fatalf("failing build ran %d times, want 1 (cached)", builds)
+	}
+}

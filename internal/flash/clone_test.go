@@ -1,0 +1,114 @@
+package flash
+
+import (
+	"bytes"
+	"testing"
+)
+
+func cloneTestChip(t *testing.T, opts ...Option) *Chip {
+	t.Helper()
+	geo := Geometry{PageSize: 512, OOBSize: 16, PagesPerBlock: 4, Blocks: 8, Planes: 2}
+	c, err := NewChip(geo, SLC, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestChipCloneEquivalence programs, reads and erases a chip, snapshots it,
+// then drives the same operation sequence on both and checks durations,
+// errors, stats and wear all match while the copies stay independent.
+func TestChipCloneEquivalence(t *testing.T) {
+	c := cloneTestChip(t, WithDataStorage())
+	payload := []byte("uflip-clone")
+	for b := 0; b < 4; b++ {
+		for p := 0; p < 3; p++ {
+			if _, err := c.ProgramPage(b, p, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := c.EraseBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadPage(0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := c.Clone()
+	if cl.Stats() != c.Stats() {
+		t.Fatalf("clone stats %+v, want %+v", cl.Stats(), c.Stats())
+	}
+	// Same op on both must cost the same (page-register state included).
+	for _, op := range []struct{ block, page int }{{0, 1}, {0, 2}, {2, 0}} {
+		da, ea := c.ReadPage(op.block, op.page)
+		db, eb := cl.ReadPage(op.block, op.page)
+		if da != db || (ea == nil) != (eb == nil) {
+			t.Fatalf("read (%d,%d): %v/%v vs %v/%v", op.block, op.page, da, ea, db, eb)
+		}
+	}
+	got, err := cl.ReadData(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("clone payload %q, want %q", got, payload)
+	}
+
+	// Mutating the clone must not leak into the original.
+	if _, err := cl.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ProgramPage(0, 0, []byte("changed")); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := c.ReadData(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, payload) {
+		t.Fatalf("original payload mutated through clone: %q", orig)
+	}
+	ecO, _ := c.EraseCount(0)
+	ecC, _ := cl.EraseCount(0)
+	if ecO == ecC {
+		t.Fatal("clone erase did not stay private")
+	}
+}
+
+// TestProgramReusesPayloadBuffer pins the program-path buffer reuse: after a
+// block cycles once, re-programming its pages with payloads of the same size
+// allocates nothing (the old buffer is overwritten in place).
+func TestProgramReusesPayloadBuffer(t *testing.T) {
+	c := cloneTestChip(t, WithDataStorage())
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	cycle := func() {
+		for p := 0; p < c.Geometry().PagesPerBlock; p++ {
+			if _, err := c.ProgramPage(0, p, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.EraseBlock(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // first cycle allocates the buffers
+	allocs := testing.AllocsPerRun(100, cycle)
+	if allocs != 0 {
+		t.Fatalf("program/erase cycle allocates %.2f times, want 0 after warm-up", allocs)
+	}
+	// The stored data still round-trips after reuse.
+	if _, err := c.ProgramPage(0, 0, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadData(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("payload after reuse = %q, want %q", got, "abc")
+	}
+}

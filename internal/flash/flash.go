@@ -215,6 +215,29 @@ func NewChip(geo Geometry, cell CellType, opts ...Option) (*Chip, error) {
 	return c, nil
 }
 
+// Clone returns a deep copy of the chip: block and page state, wear
+// counters, operation stats, page-register contents and (when payload
+// storage is enabled) the stored data. The clone and the original evolve
+// independently; driving both with the same operation sequence yields
+// identical durations, errors and stats.
+func (c *Chip) Clone() *Chip {
+	g := *c
+	g.blocks = make([]blockState, len(c.blocks))
+	for i, b := range c.blocks {
+		b.pages = append([]PageState(nil), b.pages...)
+		g.blocks[i] = b
+	}
+	g.cachedBlock = append([]int(nil), c.cachedBlock...)
+	g.cachedPage = append([]int(nil), c.cachedPage...)
+	if c.storeData {
+		g.data = make(map[int64][]byte, len(c.data))
+		for k, v := range c.data {
+			g.data[k] = append([]byte(nil), v...)
+		}
+	}
+	return &g
+}
+
 // Geometry returns the chip geometry.
 func (c *Chip) Geometry() Geometry { return c.geo }
 
@@ -309,7 +332,10 @@ func (c *Chip) ReadPage(block, page int) (time.Duration, error) {
 	return d, nil
 }
 
-// ReadData returns the payload of a page; requires WithDataStorage.
+// ReadData returns the payload of a page; requires WithDataStorage. The
+// returned slice aliases the chip's internal buffer and is only valid until
+// the page is reprogrammed (after an erase, programming overwrites the same
+// buffer in place); callers that retain the payload must copy it.
 func (c *Chip) ReadData(block, page int) ([]byte, error) {
 	if !c.storeData {
 		return nil, ErrDataDisabled
@@ -347,9 +373,17 @@ func (c *Chip) ProgramPage(block, page int, payload []byte) (time.Duration, erro
 	b.nextPage++
 	c.stats.Programs++
 	if c.storeData {
-		buf := make([]byte, len(payload))
+		// Reuse the page's previous buffer (kept across erases) instead of
+		// allocating a fresh one per program.
+		idx := c.pageIndex(block, page)
+		buf := c.data[idx]
+		if cap(buf) >= len(payload) {
+			buf = buf[:len(payload)]
+		} else {
+			buf = make([]byte, len(payload))
+		}
 		copy(buf, payload)
-		c.data[c.pageIndex(block, page)] = buf
+		c.data[idx] = buf
 	}
 	// Invalidate the register if it held a page of this plane.
 	plane := c.geo.Plane(block)
@@ -379,12 +413,8 @@ func (c *Chip) EraseBlock(block int) (time.Duration, error) {
 		b.pages[i] = PageErased
 	}
 	b.nextPage = 0
-	if c.storeData {
-		base := c.pageIndex(block, 0)
-		for i := 0; i < c.geo.PagesPerBlock; i++ {
-			delete(c.data, base+int64(i))
-		}
-	}
+	// Payload buffers are kept (the page state already marks them stale) so
+	// the next program of the page can overwrite them in place.
 	plane := c.geo.Plane(block)
 	if c.cachedBlock[plane] == block {
 		c.cachedBlock[plane], c.cachedPage[plane] = -1, -1

@@ -66,6 +66,16 @@ func NewUniformArray(nChips int, cell flash.CellType, capacityBytes int64, opts 
 	return NewArray(chips)
 }
 
+// Clone returns a deep copy of the array: every chip is cloned, so the copy
+// and the original evolve independently.
+func (a *Array) Clone() *Array {
+	chips := make([]*flash.Chip, len(a.chips))
+	for i, c := range a.chips {
+		chips[i] = c.Clone()
+	}
+	return &Array{chips: chips, geo: a.geo, blocksPerChip: a.blocksPerChip}
+}
+
 // Geometry returns the shared per-chip geometry.
 func (a *Array) Geometry() flash.Geometry { return a.geo }
 

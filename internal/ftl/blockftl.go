@@ -1,7 +1,6 @@
 package ftl
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -96,7 +95,7 @@ func NewBlockFTL(arr *Array, cfg BlockConfig, model CostModel) (*BlockFTL, error
 		f.data[i] = -1
 	}
 	for b := 0; b < arr.Blocks(); b++ {
-		heap.Push(f.free, freeBlock{block: b, eraseCount: 0})
+		f.free.Push(freeBlock{block: b, eraseCount: 0})
 	}
 	f.book = newMapBook(int64(cfg.MapUnitsPerPage), cfg.MapDirtyLimit)
 	return f, nil
@@ -104,6 +103,21 @@ func NewBlockFTL(arr *Array, cfg BlockConfig, model CostModel) (*BlockFTL, error
 
 // Capacity returns the logical byte capacity.
 func (f *BlockFTL) Capacity() int64 { return f.cfg.LogicalBytes }
+
+// Clone returns a deep copy of the FTL and the flash array underneath.
+func (f *BlockFTL) Clone() Translator {
+	g := *f
+	g.arr = f.arr.Clone()
+	g.data = append([]int32(nil), f.data...)
+	g.logs = make(map[int64]*logEnt, len(f.logs))
+	for lbn, e := range f.logs {
+		cp := *e
+		g.logs[lbn] = &cp
+	}
+	g.free = f.free.clone()
+	g.book = f.book.clone()
+	return &g
+}
 
 // Stats returns a snapshot of the FTL counters.
 func (f *BlockFTL) Stats() Stats { return f.stats }
@@ -118,13 +132,13 @@ func (f *BlockFTL) allocFree() (int, error) {
 	if f.free.Len() == 0 {
 		return 0, ErrNoSpace
 	}
-	fb := heap.Pop(f.free).(freeBlock)
+	fb := f.free.Pop()
 	return fb.block, nil
 }
 
 func (f *BlockFTL) pushFree(block int) {
 	ec, _ := f.arr.EraseCount(block)
-	heap.Push(f.free, freeBlock{block: block, eraseCount: ec})
+	f.free.Push(freeBlock{block: block, eraseCount: ec})
 }
 
 // dataNext returns the programmed-prefix length of the lbn's data block

@@ -112,6 +112,10 @@ type WriteCache struct {
 
 	stats      CacheStats
 	idleCredit time.Duration
+
+	// touched is a per-call scratch buffer reused across writes so the hot
+	// path does not allocate.
+	touched []*cacheRegion
 }
 
 // NewWriteCache wraps inner with a region-coalescing write-back buffer. A
@@ -138,6 +142,36 @@ func NewWriteCache(inner Translator, cfg CacheConfig, model CostModel) (*WriteCa
 
 // Capacity returns the logical capacity of the underlying layer.
 func (c *WriteCache) Capacity() int64 { return c.inner.Capacity() }
+
+// Clone returns a deep copy of the cache — regions, dirty lines, both LRU
+// chains in order, stats — stacked over a clone of the inner layer.
+func (c *WriteCache) Clone() Translator {
+	g := *c
+	g.inner = c.inner.Clone()
+	g.regions = make(map[int64]*cacheRegion, len(c.regions))
+	g.streamLRU = list.New()
+	g.zoneLRU = list.New()
+	g.touched = nil
+	copyLRU := func(src, dst *list.List) {
+		for e := src.Front(); e != nil; e = e.Next() {
+			r := e.Value.(*cacheRegion)
+			nr := &cacheRegion{
+				id:      r.id,
+				lines:   make(map[int64]struct{}, len(r.lines)),
+				maxLine: r.maxLine,
+				stream:  r.stream,
+			}
+			for l := range r.lines {
+				nr.lines[l] = struct{}{}
+			}
+			nr.elem = dst.PushBack(nr)
+			g.regions[nr.id] = nr
+		}
+	}
+	copyLRU(c.streamLRU, g.streamLRU)
+	copyLRU(c.zoneLRU, g.zoneLRU)
+	return &g
+}
 
 // Stats returns a snapshot of the cache counters.
 func (c *WriteCache) Stats() CacheStats { return c.stats }
@@ -224,7 +258,7 @@ func (c *WriteCache) Write(off, length int64) (Ops, error) {
 	l0 := off / lb
 	l1 := (off + length - 1) / lb
 	seq := true
-	var touched []*cacheRegion
+	touched := c.touched[:0]
 	for gl := l0; gl <= l1; {
 		rid := gl / c.linesPerRegion
 		r, ok := c.regions[rid]
@@ -273,6 +307,10 @@ func (c *WriteCache) Write(off, length int64) (Ops, error) {
 		}
 		touched = append(touched, r)
 	}
+	defer func() {
+		clear(touched) // drop region pointers so flushed regions can be freed
+		c.touched = touched[:0]
+	}()
 	c.admitCost(length, seq, &ops)
 
 	// Fully written regions flush immediately (cheap switch merge below).

@@ -32,6 +32,13 @@ func (r *recordingTranslator) Read(off, length int64) (Ops, error) {
 func (r *recordingTranslator) Idle(time.Duration) {}
 func (r *recordingTranslator) Capacity() int64    { return r.capacity }
 
+func (r *recordingTranslator) Clone() Translator {
+	g := *r
+	g.writes = append([]struct{ off, length int64 }(nil), r.writes...)
+	g.reads = append([]struct{ off, length int64 }(nil), r.reads...)
+	return &g
+}
+
 func newTestCache(t *testing.T, mutate func(*CacheConfig)) (*WriteCache, *recordingTranslator) {
 	t.Helper()
 	inner := &recordingTranslator{capacity: 64 << 20}

@@ -177,6 +177,12 @@ type Translator interface {
 	Idle(d time.Duration)
 	// Capacity returns the logical byte capacity exposed upward.
 	Capacity() int64
+	// Clone returns a deep copy of the layer — maps, pools, buffers, stats
+	// and the flash underneath — that evolves independently of the
+	// original. Driving the clone and the original with the same IO
+	// sequence yields identical Ops, errors and stats, which is what lets
+	// the engine enforce a device state once and snapshot it per shard.
+	Clone() Translator
 }
 
 // Errors returned by the translation layers.

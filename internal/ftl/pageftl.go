@@ -1,7 +1,6 @@
 package ftl
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -158,7 +157,7 @@ func NewPageFTL(arr *Array, cfg PageConfig, model CostModel) (*PageFTL, error) {
 	f.vgen = make([]int32, arr.Blocks())
 	f.isOpen = make([]bool, arr.Blocks())
 	for b := 0; b < arr.Blocks(); b++ {
-		heap.Push(f.free, freeBlock{block: b, eraseCount: 0})
+		f.free.Push(freeBlock{block: b, eraseCount: 0})
 	}
 	f.wps = make([]writePoint, cfg.WritePoints)
 	for i := range f.wps {
@@ -171,6 +170,22 @@ func NewPageFTL(arr *Array, cfg PageConfig, model CostModel) (*PageFTL, error) {
 
 // Capacity returns the logical byte capacity.
 func (f *PageFTL) Capacity() int64 { return f.cfg.LogicalBytes }
+
+// Clone returns a deep copy of the FTL and the flash array underneath.
+func (f *PageFTL) Clone() Translator {
+	g := *f
+	g.arr = f.arr.Clone()
+	g.fmap = append([]int64(nil), f.fmap...)
+	g.rmap = append([]int64(nil), f.rmap...)
+	g.live = append([]int32(nil), f.live...)
+	g.vgen = append([]int32(nil), f.vgen...)
+	g.isOpen = append([]bool(nil), f.isOpen...)
+	g.free = f.free.clone()
+	g.victims = f.victims.clone()
+	g.wps = append([]writePoint(nil), f.wps...)
+	g.book = f.book.clone()
+	return &g
+}
 
 // Stats returns a snapshot of the FTL counters.
 func (f *PageFTL) Stats() Stats { return f.stats }
@@ -215,14 +230,14 @@ func (f *PageFTL) allocBlock(ops *Ops, forGC bool) (int, error) {
 	if f.free.Len() == 0 {
 		return 0, ErrNoSpace
 	}
-	fb := heap.Pop(f.free).(freeBlock)
+	fb := f.free.Pop()
 	f.isOpen[fb.block] = true
 	return fb.block, nil
 }
 
 func (f *PageFTL) pushFree(block int) {
 	ec, _ := f.arr.EraseCount(block)
-	heap.Push(f.free, freeBlock{block: block, eraseCount: ec})
+	f.free.Push(freeBlock{block: block, eraseCount: ec})
 }
 
 // collectOne garbage-collects the closed block with the fewest live units,
@@ -279,7 +294,7 @@ func (f *PageFTL) pushVictim(block int) {
 		return
 	}
 	ec, _ := f.arr.EraseCount(block)
-	heap.Push(f.victims, victimBlock{block: block, live: int(f.live[block]), eraseCount: ec, gen: f.vgen[block]})
+	f.victims.Push(victimBlock{block: block, live: int(f.live[block]), eraseCount: ec, gen: f.vgen[block]})
 }
 
 // popVictim returns the closed block with the fewest live units, using a
@@ -290,13 +305,13 @@ func (f *PageFTL) pushVictim(block int) {
 // never gain live units.
 func (f *PageFTL) popVictim() (int, bool) {
 	for f.victims.Len() > 0 {
-		v := heap.Pop(f.victims).(victimBlock)
+		v := f.victims.Pop()
 		if v.gen != f.vgen[v.block] || f.isOpen[v.block] {
 			continue // ghost from a previous life of this block
 		}
 		cur := f.live[v.block]
 		if int32(v.live) != cur {
-			heap.Push(f.victims, victimBlock{block: v.block, live: int(cur), eraseCount: v.eraseCount, gen: v.gen})
+			f.victims.Push(victimBlock{block: v.block, live: int(cur), eraseCount: v.eraseCount, gen: v.gen})
 			continue
 		}
 		if int(cur) >= f.unitsPerBlock {

@@ -1,5 +1,69 @@
 package ftl
 
+// ordered is the constraint of the FTL's min-heaps: each element knows how to
+// compare itself to another of its kind.
+type ordered[T any] interface{ before(T) bool }
+
+// minHeap is a binary min-heap specialised per element type, replacing
+// container/heap: Push and Pop move concrete values instead of boxing every
+// element through interface{}, so the steady-state allocation-and-GC path of
+// the FTLs allocates nothing (the backing slice only grows until the working
+// set's high-water mark).
+type minHeap[T ordered[T]] struct {
+	items []T
+}
+
+// Len returns the number of elements.
+func (h *minHeap[T]) Len() int { return len(h.items) }
+
+// Push adds x, restoring the heap invariant.
+func (h *minHeap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].before(h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the minimum element; it must not be called on an
+// empty heap.
+func (h *minHeap[T]) Pop() T {
+	n := len(h.items) - 1
+	h.items[0], h.items[n] = h.items[n], h.items[0]
+	x := h.items[n]
+	var zero T
+	h.items[n] = zero
+	h.items = h.items[:n]
+	// Sift the promoted element down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.items[r].before(h.items[l]) {
+			m = r
+		}
+		if !h.items[m].before(h.items[i]) {
+			break
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+	return x
+}
+
+// clone returns an independent copy of the heap.
+func (h *minHeap[T]) clone() *minHeap[T] {
+	return &minHeap[T]{items: append([]T(nil), h.items...)}
+}
+
 // freeBlock is an entry in the pre-erased pool, ordered by erase count so
 // allocation doubles as dynamic wear leveling (the least-worn free block is
 // always handed out first).
@@ -8,24 +72,14 @@ type freeBlock struct {
 	eraseCount int
 }
 
-type freeHeap []freeBlock
-
-func (h freeHeap) Len() int { return len(h) }
-func (h freeHeap) Less(i, j int) bool {
-	if h[i].eraseCount != h[j].eraseCount {
-		return h[i].eraseCount < h[j].eraseCount
+func (a freeBlock) before(b freeBlock) bool {
+	if a.eraseCount != b.eraseCount {
+		return a.eraseCount < b.eraseCount
 	}
-	return h[i].block < h[j].block
+	return a.block < b.block
 }
-func (h freeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *freeHeap) Push(x interface{}) { *h = append(*h, x.(freeBlock)) }
-func (h *freeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+
+type freeHeap = minHeap[freeBlock]
 
 // victimBlock is a garbage-collection candidate, ordered by live unit count
 // (greedy policy) with erase count as tie-break (wear-aware victim choice).
@@ -40,27 +94,17 @@ type victimBlock struct {
 	gen        int32
 }
 
-type victimHeap []victimBlock
+func (a victimBlock) before(b victimBlock) bool {
+	if a.live != b.live {
+		return a.live < b.live
+	}
+	if a.eraseCount != b.eraseCount {
+		return a.eraseCount < b.eraseCount
+	}
+	return a.block < b.block
+}
 
-func (h victimHeap) Len() int { return len(h) }
-func (h victimHeap) Less(i, j int) bool {
-	if h[i].live != h[j].live {
-		return h[i].live < h[j].live
-	}
-	if h[i].eraseCount != h[j].eraseCount {
-		return h[i].eraseCount < h[j].eraseCount
-	}
-	return h[i].block < h[j].block
-}
-func (h victimHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *victimHeap) Push(x interface{}) { *h = append(*h, x.(victimBlock)) }
-func (h *victimHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+type victimHeap = minHeap[victimBlock]
 
 // mapBook models the on-flash direct map of Section 2.2: each map page
 // covers unitsPerPage consecutive mapping entries; dirty map pages are
@@ -68,11 +112,15 @@ func (h *victimHeap) Pop() interface{} {
 // writes touch many distinct map pages and therefore flush often, while
 // focused writes amortize their bookkeeping — the mechanism behind the extra
 // cost of large-increment ordered patterns.
+//
+// The FIFO of dirty pages lives in a fixed ring (at most limit+1 pages are
+// ever dirty), so steady-state touches never allocate.
 type mapBook struct {
 	unitsPerPage int64
 	limit        int
 	dirty        map[int64]struct{}
-	order        []int64 // FIFO of dirty map pages
+	order        []int64 // ring buffer of dirty map pages, FIFO
+	head, queued int
 	lastFlushed  int64
 }
 
@@ -87,6 +135,7 @@ func newMapBook(unitsPerPage int64, limit int) mapBook {
 		unitsPerPage: unitsPerPage,
 		limit:        limit,
 		dirty:        make(map[int64]struct{}, limit+1),
+		order:        make([]int64, limit+1),
 		lastFlushed:  -2,
 	}
 }
@@ -102,10 +151,12 @@ func (b *mapBook) touch(unit int64, ops *Ops) {
 		return
 	}
 	b.dirty[page] = struct{}{}
-	b.order = append(b.order, page)
+	b.order[(b.head+b.queued)%len(b.order)] = page
+	b.queued++
 	if len(b.dirty) > b.limit {
-		victim := b.order[0]
-		b.order = b.order[1:]
+		victim := b.order[b.head]
+		b.head = (b.head + 1) % len(b.order)
+		b.queued--
 		delete(b.dirty, victim)
 		if victim == b.lastFlushed+1 || victim == b.lastFlushed {
 			ops.SeqMapFlushes++
@@ -118,3 +169,14 @@ func (b *mapBook) touch(unit int64, ops *Ops) {
 
 // dirtyCount reports the number of buffered dirty map pages (for tests).
 func (b *mapBook) dirtyCount() int { return len(b.dirty) }
+
+// clone returns an independent copy of the book.
+func (b *mapBook) clone() mapBook {
+	g := *b
+	g.dirty = make(map[int64]struct{}, len(b.dirty)+1)
+	for k := range b.dirty {
+		g.dirty[k] = struct{}{}
+	}
+	g.order = append([]int64(nil), b.order...)
+	return g
+}

@@ -1,0 +1,69 @@
+package paperexp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"uflip/internal/core"
+	"uflip/internal/engine"
+	"uflip/internal/methodology"
+)
+
+// TestRunPlanParallelCloneVsRebuild pins the production factory's oracle:
+// RunPlanParallel through the snapshot-based ShardFactory returns merged
+// results byte-identical to the pre-snapshot RebuildShardFactory (one full
+// enforcement per shard, same seed), across worker counts.
+func TestRunPlanParallelCloneVsRebuild(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Capacity = 24 << 20
+	cfg.Pause = time.Second
+
+	d := core.StandardDefaults()
+	d.IOCount = 128
+	d.Seed = cfg.Seed
+	d.RandomTarget = cfg.Capacity / 2
+	var exps []core.Experiment
+	for _, b := range core.Baselines {
+		exps = append(exps, core.Experiment{
+			Micro: "clonepin", Base: b, Param: "IOSize", Value: d.IOSize, Pattern: b.Pattern(d),
+		})
+	}
+	plan := methodology.BuildPlan(exps, cfg.Capacity, cfg.Pause, nil)
+	plan.Device = "mtron"
+
+	var blobs [][]byte
+	for _, workers := range []int{1, 3} {
+		for _, factory := range []struct {
+			name string
+			f    func() (res any, err error)
+		}{
+			{"clone", func() (any, error) {
+				return RunPlanParallel(context.Background(), "mtron", cfg, plan, workers, nil)
+			}},
+			{"rebuild", func() (any, error) {
+				return engine.ExecutePlan(context.Background(), plan, RebuildShardFactory("mtron", cfg), engine.Options{
+					Workers: workers,
+					Seed:    cfg.Seed,
+				})
+			}},
+		} {
+			res, err := factory.f()
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", factory.name, workers, err)
+			}
+			blob, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs = append(blobs, blob)
+		}
+	}
+	for i := 1; i < len(blobs); i++ {
+		if !bytes.Equal(blobs[0], blobs[i]) {
+			t.Fatalf("results diverge between clone and rebuild factories (blob %d)", i)
+		}
+	}
+}

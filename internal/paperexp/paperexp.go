@@ -62,6 +62,12 @@ func (c Config) defaults(capacity int64) core.Defaults {
 // the random initial state (Section 4.1), returning the device and the
 // virtual time at which measurements may start.
 func Prepare(key string, cfg Config) (device.Device, time.Duration, error) {
+	return prepareSim(key, cfg)
+}
+
+// prepareSim is Prepare returning the concrete simulated device, which is
+// cloneable — the snapshot the engine master hands out per shard.
+func prepareSim(key string, cfg Config) (*device.SimDevice, time.Duration, error) {
 	p, err := profile.ByKey(key)
 	if err != nil {
 		return nil, 0, err
@@ -75,6 +81,14 @@ func Prepare(key string, cfg Config) (device.Device, time.Duration, error) {
 		return nil, 0, err
 	}
 	return dev, end + cfg.Pause, nil
+}
+
+// Master returns an engine master over the profile: the device is built and
+// enforced once (lazily, with cfg.Seed), then deep-cloned per shard.
+func Master(key string, cfg Config) *engine.Master {
+	return engine.NewMaster(func() (device.Cloneable, time.Duration, error) {
+		return prepareSim(key, cfg)
+	})
 }
 
 // PrepareOutOfBox builds the device without any state enforcement — the
@@ -217,25 +231,29 @@ func table3Experiments(capacity int64, d core.Defaults) []core.Experiment {
 	return exps
 }
 
-// ShardFactory returns the engine device factory for a profile: every shard
-// gets a freshly built device at the configured capacity with the random
-// initial state enforced using the shard's derived seed, so shards never
-// share mutable FTL state and execution parallelizes freely.
+// ShardFactory returns the engine device factory for a profile: one master
+// device per (profile, capacity, enforcement-seed) is built and enforced
+// lazily, and every shard receives a deep clone of it — private mutable FTL
+// state at snapshot cost instead of replaying the enforcement IOs. Results
+// are byte-identical to RebuildShardFactory for any worker count.
+//
+// Every shard now starts from the cfg.Seed-enforced state; earlier releases
+// enforced each shard with its own derived seed, so absolute numbers differ
+// from results recorded before the snapshot engine (determinism across
+// worker counts is unchanged, and a shared enforced state matches the
+// paper's one-device methodology more closely).
 func ShardFactory(key string, cfg Config) engine.DeviceFactory {
-	return func(s engine.Shard) (device.Device, time.Duration, error) {
-		p, err := profile.ByKey(key)
-		if err != nil {
-			return nil, 0, err
-		}
-		dev, err := p.BuildWithCapacity(cfg.Capacity)
-		if err != nil {
-			return nil, 0, err
-		}
-		end, err := methodology.EnforceRandomState(dev, s.Seed)
-		if err != nil {
-			return nil, 0, err
-		}
-		return dev, end + cfg.Pause, nil
+	return Master(key, cfg).Factory()
+}
+
+// RebuildShardFactory is the pre-snapshot path: every shard builds its own
+// device and replays the whole state enforcement with cfg.Seed. It yields
+// results byte-identical to ShardFactory (the clone-correctness oracle the
+// tests pin) at a much higher per-shard cost; it remains as the fallback for
+// device kinds that cannot snapshot.
+func RebuildShardFactory(key string, cfg Config) engine.DeviceFactory {
+	return func(engine.Shard) (device.Device, time.Duration, error) {
+		return prepareSim(key, cfg)
 	}
 }
 
@@ -255,12 +273,13 @@ func RunPlanParallel(ctx context.Context, key string, cfg Config, plan methodolo
 }
 
 // Table3RowParallel measures one device's key characteristics like Table3Row
-// but executes the benchmark plan through the parallel engine: the phase
-// measurement (which calibrates IOIgnore/IOCount and is inherently
-// sequential) runs on a probe device, then every plan run executes on its
-// own freshly enforced device across the worker pool.
+// but executes the benchmark plan through the parallel engine: the state is
+// enforced once on a master device, the phase measurement (which calibrates
+// IOIgnore/IOCount and is inherently sequential) runs on a clone of it, and
+// every plan run executes on its own clone across the worker pool.
 func Table3RowParallel(ctx context.Context, key string, cfg Config, workers int) (report.DeviceCharacter, *methodology.Results, error) {
-	probe, at, err := Prepare(key, cfg)
+	master := Master(key, cfg)
+	probe, at, err := master.Clone()
 	if err != nil {
 		return report.DeviceCharacter{}, nil, err
 	}
@@ -271,7 +290,11 @@ func Table3RowParallel(ctx context.Context, key string, cfg Config, workers int)
 	}
 	exps := table3Experiments(probe.Capacity(), d)
 	plan := methodology.BuildPlan(exps, probe.Capacity(), cfg.Pause, phases)
-	res, err := RunPlanParallel(ctx, key, cfg, plan, workers, nil)
+	plan.Device = key
+	res, err := engine.ExecutePlan(ctx, plan, master.Factory(), engine.Options{
+		Workers: workers,
+		Seed:    cfg.Seed,
+	})
 	if err != nil {
 		return report.DeviceCharacter{}, nil, err
 	}

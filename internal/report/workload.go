@@ -29,9 +29,14 @@ func WorkloadTable(res *workload.Result) *Table {
 }
 
 // WorkloadSection renders the workload report section: the summary table
-// plus a per-segment breakdown when the replay was split.
+// with response-time percentiles, plus a per-segment breakdown when the
+// replay was split.
 func WorkloadSection(w io.Writer, res *workload.Result) error {
 	if err := WorkloadTable(res).Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "percentiles: p50=%.3fms p95=%.3fms p99=%.3fms\n",
+		res.P50.Seconds()*1e3, res.P95.Seconds()*1e3, res.P99.Seconds()*1e3); err != nil {
 		return err
 	}
 	if len(res.Segments) <= 1 {

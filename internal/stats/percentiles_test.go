@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"slices"
+	"testing"
+	"time"
+)
+
+// TestPercentilesMatchesPercentile checks the single-sort batch API returns
+// exactly what repeated Percentile calls return, across edge cases.
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	series := [][]time.Duration{
+		nil,
+		{7},
+		{4, 1, 3, 2},
+		{10, 10, 10},
+		{5, 9, 1, 7, 3, 8, 2, 6, 4, 0},
+	}
+	ps := []float64{-5, 0, 25, 50, 90, 99, 100, 500}
+	for _, samples := range series {
+		got := Percentiles(samples, ps...)
+		if len(got) != len(ps) {
+			t.Fatalf("Percentiles returned %d values for %d ps", len(got), len(ps))
+		}
+		for i, p := range ps {
+			if want := Percentile(samples, p); got[i] != want {
+				t.Errorf("samples %v p=%v: batch %v, single %v", samples, p, got[i], want)
+			}
+		}
+	}
+	if Percentiles([]time.Duration{1, 2, 3}) != nil {
+		t.Error("no requested percentiles should return nil")
+	}
+}
+
+// TestPercentilesDoesNotMutateInput mirrors the Percentile guarantee.
+func TestPercentilesDoesNotMutateInput(t *testing.T) {
+	samples := []time.Duration{3, 1, 2}
+	Percentiles(samples, 50, 99)
+	if samples[0] != 3 || samples[1] != 1 || samples[2] != 2 {
+		t.Fatalf("input mutated: %v", samples)
+	}
+}
+
+// TestPercentilesSorted checks the no-copy variant against the copying one.
+func TestPercentilesSorted(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8}
+	a := PercentilesSorted(sorted, 50, 95)
+	b := Percentiles(sorted, 50, 95)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sorted variant diverges: %v vs %v", a, b)
+		}
+	}
+	z := PercentilesSorted(nil, 50)
+	if len(z) != 1 || z[0] != 0 {
+		t.Fatalf("empty sorted input: %v", z)
+	}
+}
+
+// TestPercentilesAllocs pins the allocation profile of the batch API: one
+// scratch copy of the samples plus the result slice, independent of how many
+// percentiles are requested — the property that makes p50/p95/p99 over a
+// long replay a single sort.
+func TestPercentilesAllocs(t *testing.T) {
+	samples := make([]time.Duration, 4096)
+	for i := range samples {
+		samples[i] = time.Duration((i*2654435761)%100003) * time.Microsecond
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		Percentiles(samples, 50, 90, 95, 99, 99.9)
+	})
+	if allocs > 2 {
+		t.Fatalf("Percentiles allocates %.1f times per call, want <= 2 (scratch + result)", allocs)
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	slices.Sort(sorted)
+	allocs = testing.AllocsPerRun(100, func() {
+		PercentilesSorted(sorted, 50, 90, 95, 99, 99.9)
+	})
+	if allocs > 1 {
+		t.Fatalf("PercentilesSorted allocates %.1f times per call, want <= 1 (result)", allocs)
+	}
+}

@@ -8,7 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -126,22 +126,50 @@ func Summarize(samples []time.Duration) Summary {
 	return r.Summary()
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) of the samples using
-// linear interpolation between closest ranks. It returns 0 for an empty
-// slice. The input is not modified.
-func Percentile(samples []time.Duration, p float64) time.Duration {
-	if len(samples) == 0 {
-		return 0
+// Percentiles returns the requested percentiles (each 0 <= p <= 100, clamped
+// otherwise) of the samples using linear interpolation between closest
+// ranks. The input is copied and sorted exactly once no matter how many
+// percentiles are requested, so callers that need p50/p95/p99 of a long
+// response-time series pay one sort instead of one per quantile. It returns
+// nil for no percentiles and all-zero values for an empty sample slice. The
+// input is not modified.
+func Percentiles(samples []time.Duration, ps ...float64) []time.Duration {
+	if len(ps) == 0 {
+		return nil
 	}
+	out := make([]time.Duration, len(ps))
+	if len(samples) == 0 {
+		return out
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	slices.Sort(sorted)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// PercentilesSorted is Percentiles over samples the caller has already
+// sorted ascending: no copy, no sort, no allocation beyond the result.
+func PercentilesSorted(sorted []time.Duration, ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	if len(sorted) == 0 {
+		return out
+	}
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+func percentileSorted(sorted []time.Duration, p float64) time.Duration {
 	if p < 0 {
 		p = 0
 	}
 	if p > 100 {
 		p = 100
 	}
-	sorted := make([]time.Duration, len(samples))
-	copy(sorted, samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	if len(sorted) == 1 {
 		return sorted[0]
 	}
@@ -153,6 +181,15 @@ func Percentile(samples []time.Duration, p float64) time.Duration {
 	}
 	frac := rank - float64(lo)
 	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// Percentile returns the p-th percentile of the samples; use Percentiles
+// when more than one quantile of the same series is needed.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	return Percentiles(samples, p)[0]
 }
 
 // Median returns the 50th percentile.

@@ -157,6 +157,9 @@ type Result struct {
 	// exposing drift (cache warm-up, free-pool drain) a single summary
 	// would average away.
 	Windows []stats.Window
+	// P50, P95 and P99 are response-time percentiles over the merged
+	// stream (one sort via stats.Percentiles).
+	P50, P95, P99 time.Duration
 	// Elapsed is the summed virtual duration of the segments — the
 	// stream's device time as if replayed back-to-back.
 	Elapsed time.Duration
@@ -196,6 +199,7 @@ func ReplayParallel(ctx context.Context, name string, ops []Op, factory engine.D
 	}
 	res := &Result{Name: name, Ops: len(ops), Segments: runs}
 	w := stats.NewWindowed(opts.windowOps())
+	merged := make([]time.Duration, 0, len(ops))
 	for _, run := range runs {
 		if res.Device == "" {
 			res.Device = run.Device
@@ -203,10 +207,13 @@ func ReplayParallel(ctx context.Context, name string, ops []Op, factory engine.D
 		for _, rt := range run.RTs {
 			w.AddDuration(rt)
 		}
+		merged = append(merged, run.RTs...)
 		res.Elapsed += run.Total
 	}
 	res.Total = w.Total()
 	res.Windows = w.Windows()
+	pcts := stats.Percentiles(merged, 50, 95, 99)
+	res.P50, res.P95, res.P99 = pcts[0], pcts[1], pcts[2]
 	return res, nil
 }
 
