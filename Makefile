@@ -1,7 +1,7 @@
 # Targets used verbatim by .github/workflows/ci.yml.
 GO ?= go
 
-.PHONY: build test lint bench bench-json bench-check binaries clean
+.PHONY: build test lint bench bench-json bench-check binaries fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,16 @@ bench-json:
 # compares what bench-json just wrote.
 bench-check: bench-json
 	$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json "$$(ls -t BENCH_2*.json | head -1)"
+
+# Run every native fuzz target for a short burst on top of its committed
+# seed corpus — enough to catch parser panics and round-trip drift in CI
+# without turning the pipeline into a fuzzing farm.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseArraySpec$$' -fuzztime $(FUZZTIME) ./internal/profile
+	$(GO) test -run '^$$' -fuzz '^FuzzReadTrace$$' -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run '^$$' -fuzz '^FuzzReadSummaryCSV$$' -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzReadRTSeriesCSV$$' -fuzztime $(FUZZTIME) ./internal/trace
 
 # Compile every cmd/* and examples/* binary so example drift breaks the
 # build instead of rotting silently.

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"uflip/internal/device"
+	"uflip/internal/paperexp"
+	"uflip/internal/profile"
+	"uflip/internal/report"
+	"uflip/internal/trace"
+)
+
+// runArray implements the "uflip array" subcommand: the array scenario sweep
+// — the four baselines measured over every layout × member count × queue
+// depth combination of composite devices — reported as a Table-3-style grid.
+func runArray(args []string) error {
+	fs := flag.NewFlagSet("uflip array", flag.ContinueOnError)
+	var (
+		member   = fs.String("member", "", "member device profile (see flashio -list)")
+		layouts  = fs.String("layouts", "stripe,mirror,concat", "comma-separated layouts to sweep")
+		counts   = fs.String("counts", "1,2,4", "comma-separated member counts")
+		qds      = fs.String("qd", "1,4", "comma-separated per-member queue depths")
+		chunk    = fs.Int64("chunk", 0, "stripe chunk size in bytes (0 = default 128 KiB)")
+		degree   = fs.Int("degree", 4, "concurrent processes per baseline (queue effects need > 1)")
+		capacity = fs.Int64("capacity", 256<<20, "simulated capacity per member in bytes")
+		seed     = fs.Int64("seed", 42, "random seed")
+		iocount  = fs.Int("iocount", 1024, "IOs per baseline run")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count (1 = sequential fallback; the grid is identical for any value)")
+		outDir   = fs.String("out", "", "directory for the JSON grid")
+		verbose  = fs.Bool("v", false, "log each completed run")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *member == "" {
+		return fmt.Errorf("pass -member <profile>")
+	}
+	ac := paperexp.ArrayConfig{
+		Member:     *member,
+		ChunkBytes: *chunk,
+		Degree:     *degree,
+		Workers:    *parallel,
+	}
+	var err error
+	if ac.Layouts, err = parseLayouts(*layouts); err != nil {
+		return err
+	}
+	if ac.Counts, err = parseInts(*counts, "counts", profile.MaxArrayMembers); err != nil {
+		return err
+	}
+	if ac.QueueDepths, err = parseInts(*qds, "qd", profile.MaxArrayQueueDepth); err != nil {
+		return err
+	}
+	cfg := paperexp.Config{Capacity: *capacity, Seed: *seed, IOCount: *iocount, Pause: paperexp.DefaultConfig().Pause}
+
+	combos := len(ac.Layouts) * len(ac.Counts) * len(ac.QueueDepths)
+	fmt.Printf("== array sweep over %s: %d layouts x %d counts x %d queue depths = %d combinations, degree %d, %d workers\n",
+		*member, len(ac.Layouts), len(ac.Counts), len(ac.QueueDepths), combos, ac.Degree, *parallel)
+	var progress func(done, total int, desc string)
+	if *verbose {
+		progress = func(done, total int, desc string) {
+			fmt.Printf("  [%d/%d] %s\n", done, total, desc)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rows, err := paperexp.ArraySweep(ctx, cfg, ac, progress)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := report.ArraySection(os.Stdout, rows); err != nil {
+		return err
+	}
+	if *outDir != "" {
+		path := filepath.Join(*outDir, fileSafe(*member)+"-arrays.json")
+		f, err := trace.Create(path)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ngrid written to %s\n", path)
+	}
+	return nil
+}
+
+func parseLayouts(csv string) ([]device.Layout, error) {
+	var out []device.Layout
+	for _, s := range strings.Split(csv, ",") {
+		l, err := device.ParseLayout(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+func parseInts(csv, what string, max int) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 || n > max {
+			return nil, fmt.Errorf("bad -%s entry %q (want an integer in [1, %d])", what, s, max)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

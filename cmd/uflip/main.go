@@ -9,13 +9,21 @@
 // log-append streams, Zipfian hot/cold access, bursty phases) and CSV block
 // traces, sharded deterministically across workers.
 //
+// The array subcommand sweeps composite devices — stripe/mirror/concat
+// arrays of simulated members with per-member queue-depth scheduling — over
+// layout, member count and queue depth, reporting a Table-3-style grid.
+// Wherever a -device flag takes a profile key it also takes an array spec
+// such as "stripe(2,mtron,mtron)" (capacity then applies per member).
+//
 // Examples:
 //
 //	uflip -device memoright                        # full benchmark
 //	uflip -device kingston-dti -micro Locality,Order
+//	uflip -device "stripe(2,mtron,mtron)" -micro Granularity
 //	uflip -device mtron -out results/              # JSON + CSV results
 //	uflip workload -device memoright -kind oltp -ops 4096
 //	uflip workload -device memoright -trace mytrace.csv -parallel 8
+//	uflip array -member mtron -counts 1,2,4 -layouts stripe,mirror
 package main
 
 import (
@@ -40,9 +48,12 @@ import (
 
 func main() {
 	var err error
-	if len(os.Args) > 1 && os.Args[1] == "workload" {
+	switch {
+	case len(os.Args) > 1 && os.Args[1] == "workload":
 		err = runWorkload(os.Args[2:])
-	} else {
+	case len(os.Args) > 1 && os.Args[1] == "array":
+		err = runArray(os.Args[2:])
+	default:
 		err = run()
 	}
 	if err != nil {
@@ -53,8 +64,8 @@ func main() {
 
 func run() error {
 	var (
-		devKey   = flag.String("device", "", "device profile to benchmark (see flashio -list)")
-		capacity = flag.Int64("capacity", 1<<30, "simulated capacity in bytes (scaled-down devices behave identically)")
+		devKey   = flag.String("device", "", "device profile or array spec to benchmark, e.g. mtron or stripe(2,mtron,mtron) (see flashio -list)")
+		capacity = flag.Int64("capacity", 1<<30, "simulated capacity in bytes, per member for array specs (scaled-down devices behave identically)")
 		micros   = flag.String("micro", "", "comma-separated micro-benchmarks to run (default: all nine)")
 		ioCount  = flag.Int("iocount", 1024, "base run length before methodology scaling")
 		seed     = flag.Int64("seed", 42, "random seed")
@@ -77,18 +88,18 @@ func run() error {
 			fmt.Fprintln(os.Stderr, "uflip:", perr)
 		}
 	}()
-	prof, err := profile.ByKey(*devKey)
+	desc, err := profile.DescribeDevice(*devKey)
 	if err != nil {
 		return err
 	}
-	dev, err := prof.BuildWithCapacity(*capacity)
+	dev, err := profile.BuildDevice(*devKey, *capacity)
 	if err != nil {
 		return err
 	}
 
 	// Methodology, step 1: enforce the random initial state (Section 4.1).
-	fmt.Printf("== %s (%s)\n", prof.Key, prof.String())
-	fmt.Printf("enforcing random state over %d MB...\n", *capacity>>20)
+	fmt.Printf("== %s (%s)\n", *devKey, desc)
+	fmt.Printf("enforcing random state over %d MB...\n", dev.Capacity()>>20)
 	at, err := methodology.EnforceRandomState(dev, *seed)
 	if err != nil {
 		return err
@@ -127,7 +138,7 @@ func run() error {
 		exps = append(exps, mb.Experiments...)
 	}
 	plan := methodology.BuildPlan(exps, dev.Capacity(), pauseRep.RecommendedPause, phases)
-	plan.Device = prof.Key
+	plan.Device = *devKey
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -146,7 +157,7 @@ func run() error {
 	// between runs.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	factory := paperexp.ShardFactory(prof.Key, paperexp.Config{
+	factory := paperexp.ShardFactory(*devKey, paperexp.Config{
 		Capacity: *capacity,
 		Seed:     *seed,
 		Pause:    pauseRep.RecommendedPause,
@@ -188,12 +199,27 @@ func run() error {
 	}
 
 	if *outDir != "" {
-		if err := saveResults(*outDir, prof.Key, results); err != nil {
+		if err := saveResults(*outDir, fileSafe(*devKey), results); err != nil {
 			return err
 		}
 		fmt.Printf("\nresults written under %s\n", *outDir)
 	}
 	return nil
+}
+
+// fileSafe turns a device key or array spec into a file-name stem: array
+// specs contain parentheses and commas, which stay legible but awkward in
+// result paths.
+func fileSafe(key string) string {
+	out := []rune(key)
+	for i, r := range out {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	return strings.Trim(string(out), "_")
 }
 
 func selectMicros(csvList string, d core.Defaults, capacity int64) ([]core.Microbenchmark, error) {
@@ -238,7 +264,7 @@ func saveResults(dir, devKey string, results *methodology.Results) error {
 	if err := trace.SaveJSON(filepath.Join(dir, devKey+".jsonl"), records); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, devKey+".csv"))
+	f, err := trace.Create(filepath.Join(dir, devKey+".csv"))
 	if err != nil {
 		return err
 	}

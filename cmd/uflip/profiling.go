@@ -5,6 +5,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"uflip/internal/trace"
 )
 
 // startProfiles starts the optional pprof captures behind the -cpuprofile
@@ -15,7 +17,7 @@ import (
 func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 	var cpuFile, memFile *os.File
 	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+		cpuFile, err = trace.Create(cpuPath)
 		if err != nil {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
@@ -26,7 +28,7 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 	}
 	if memPath != "" {
 		// Create up front so a bad path fails before the run, not after.
-		memFile, err = os.Create(memPath)
+		memFile, err = trace.Create(memPath)
 		if err != nil {
 			if cpuFile != nil {
 				pprof.StopCPUProfile()

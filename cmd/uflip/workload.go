@@ -25,8 +25,8 @@ import (
 func runWorkload(args []string) error {
 	fs := flag.NewFlagSet("uflip workload", flag.ContinueOnError)
 	var (
-		devKey    = fs.String("device", "", "device profile to replay against (see flashio -list)")
-		capacity  = fs.Int64("capacity", 1<<30, "simulated capacity in bytes")
+		devKey    = fs.String("device", "", "device profile or array spec to replay against (see flashio -list)")
+		capacity  = fs.Int64("capacity", 1<<30, "simulated capacity in bytes, per member for array specs")
 		kind      = fs.String("kind", "oltp", "workload kind: oltp, append, zipf, bursty (or pass -trace)")
 		traceFile = fs.String("trace", "", "replay a block-trace CSV (offset,size,mode,gap_us) instead of a synthetic workload")
 		ops       = fs.Int("ops", 2048, "synthetic stream length in IOs")
@@ -67,7 +67,7 @@ func runWorkload(args []string) error {
 			fmt.Fprintln(os.Stderr, "uflip:", perr)
 		}
 	}()
-	prof, err := profile.ByKey(*devKey)
+	desc, err := profile.DescribeDevice(*devKey)
 	if err != nil {
 		return err
 	}
@@ -99,7 +99,7 @@ func runWorkload(args []string) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("== %s (%s)\n", prof.Key, prof.String())
+	fmt.Printf("== %s (%s)\n", *devKey, desc)
 	fmt.Printf("replaying %s: %d IOs in segments of %d on %d workers\n",
 		gen.Name(), len(stream), *segment, workers)
 	var progress engine.ProgressFunc
@@ -110,7 +110,7 @@ func runWorkload(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	factory := paperexp.ShardFactory(prof.Key, paperexp.Config{
+	factory := paperexp.ShardFactory(*devKey, paperexp.Config{
 		Capacity: *capacity,
 		Seed:     *seed,
 		Pause:    time.Second,
@@ -130,7 +130,7 @@ func runWorkload(args []string) error {
 		return err
 	}
 	if *outDir != "" {
-		if err := saveWorkloadResults(*outDir, prof.Key, res); err != nil {
+		if err := saveWorkloadResults(*outDir, fileSafe(*devKey), res); err != nil {
 			return err
 		}
 		fmt.Printf("\nresults written under %s\n", *outDir)
@@ -199,7 +199,7 @@ func saveWorkloadResults(dir, devKey string, res *workload.Result) error {
 	if err := trace.SaveJSON(filepath.Join(dir, devKey+"-workload.jsonl"), records); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, devKey+"-workload.csv"))
+	f, err := trace.Create(filepath.Join(dir, devKey+"-workload.csv"))
 	if err != nil {
 		return err
 	}

@@ -41,6 +41,30 @@
 // results are byte-identical for any -parallel value. Long replays report
 // windowed summaries (internal/stats) so drift over time stays visible.
 //
+// Composite device arrays (internal/device.CompositeDevice) extend the
+// paper's single-device study to multi-device deployments: stripe (RAID-0
+// with configurable chunk size, chunk-crossing IOs split and coalesce per
+// member), mirror (RAID-1, writes fan out to all members, reads go to the
+// member with the fewest outstanding IOs) and concat layouts over any mix
+// of simulated members, each member behind a bounded host-side queue whose
+// depth couples the members (a full queue stalls the array's dispatcher).
+// Arrays are fully deterministic and Clone()-able, so the engine shards
+// them exactly like single devices. Every -device flag accepts an array
+// spec such as "stripe(2,mtron,mtron)" or "stripe(4,mtron,chunk=64k,qd=8)"
+// (capacity applies per member), and "uflip array" sweeps the four
+// baselines over layout x member count x queue depth into a Table-3-style
+// grid (byte-identical for any -parallel value).
+//
+// A differential and fuzz test layer guards the simulator: 1-member arrays
+// are pinned byte-identical to their raw member over the full
+// micro-benchmark suite and the workload generators; the FTL data plane
+// (ftl.DataPlane over flash.WithDataStorage) carries real payload bytes
+// through relocations, merges, garbage collection and cache destages so a
+// read-after-write oracle can verify data integrity under OLTP/Zipf
+// workloads; and native go fuzz targets (make fuzz-smoke) cover the
+// block-trace CSV, result CSV and array-spec parsers with committed seed
+// corpora.
+//
 // The implementation lives under internal/; see README.md for the layout,
 // cmd/ for the executables, examples/ for runnable walk-throughs, and
 // bench_test.go in this directory for the benchmark harness that regenerates

@@ -75,8 +75,12 @@ type Cloneable interface {
 	CloneDevice() Device
 }
 
+// checkIO validates a request: in bounds and of positive size. Zero-size
+// IOs are rejected uniformly (no pattern, generator or trace produces them),
+// which keeps every device — raw or composite — behaving identically at the
+// edges.
 func checkIO(io IO, capacity int64) error {
-	if io.Off < 0 || io.Size < 0 || io.Off+io.Size > capacity {
+	if io.Off < 0 || io.Size <= 0 || io.Off+io.Size > capacity {
 		return ErrOutOfRange
 	}
 	return nil

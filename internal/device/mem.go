@@ -45,6 +45,13 @@ func (d *MemDevice) Name() string { return d.name }
 // IOs returns the number of IOs serviced.
 func (d *MemDevice) IOs() int64 { return d.ios }
 
+// CloneDevice implements device.Cloneable: the device is a handful of scalar
+// fields, so a shallow copy is a full snapshot.
+func (d *MemDevice) CloneDevice() Device {
+	g := *d
+	return &g
+}
+
 // Submit services one IO with the configured constant costs.
 func (d *MemDevice) Submit(at time.Duration, io IO) (time.Duration, error) {
 	if err := checkIO(io, d.capacity); err != nil {

@@ -241,6 +241,10 @@ func (c *Chip) Clone() *Chip {
 // Geometry returns the chip geometry.
 func (c *Chip) Geometry() Geometry { return c.geo }
 
+// StoresData reports whether the chip retains page payloads
+// (WithDataStorage).
+func (c *Chip) StoresData() bool { return c.storeData }
+
 // Cell returns the chip's cell type.
 func (c *Chip) Cell() CellType { return c.cell }
 

@@ -117,6 +117,32 @@ func (a *Array) ProgramPage(gb, page int) error {
 	return err
 }
 
+// StoresData reports whether the chips retain page payloads (they were
+// built with flash.WithDataStorage) — the switch that turns on the FTLs'
+// data plane.
+func (a *Array) StoresData() bool { return a.chips[0].StoresData() }
+
+// ProgramPageData programs one page of global block gb with a payload.
+func (a *Array) ProgramPageData(gb, page int, payload []byte) error {
+	c, lb, err := a.locate(gb)
+	if err != nil {
+		return err
+	}
+	_, err = c.ProgramPage(lb, page, payload)
+	return err
+}
+
+// PageData returns the stored payload of a programmed page of gb. The slice
+// aliases the chip's internal buffer and is only valid until the page's
+// block cycles; callers that retain it must copy. Requires data storage.
+func (a *Array) PageData(gb, page int) ([]byte, error) {
+	c, lb, err := a.locate(gb)
+	if err != nil {
+		return nil, err
+	}
+	return c.ReadData(lb, page)
+}
+
 // EraseBlock erases global block gb.
 func (a *Array) EraseBlock(gb int) error {
 	c, lb, err := a.locate(gb)

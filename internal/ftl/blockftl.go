@@ -70,6 +70,13 @@ type BlockFTL struct {
 	stats Stats
 
 	lastReadSlot int64
+
+	// Data plane (flash built with data storage only): pending host bytes
+	// of the WriteData call in flight, and a one-page staging buffer.
+	dataMode   bool
+	pending    []byte
+	pendingOff int64
+	pageBuf    []byte
 }
 
 // NewBlockFTL builds a block-mapped FTL over the array. The flash must be in
@@ -98,6 +105,10 @@ func NewBlockFTL(arr *Array, cfg BlockConfig, model CostModel) (*BlockFTL, error
 		f.free.Push(freeBlock{block: b, eraseCount: 0})
 	}
 	f.book = newMapBook(int64(cfg.MapUnitsPerPage), cfg.MapDirtyLimit)
+	if arr.StoresData() {
+		f.dataMode = true
+		f.pageBuf = make([]byte, geo.PageSize)
+	}
 	return f, nil
 }
 
@@ -116,6 +127,10 @@ func (f *BlockFTL) Clone() Translator {
 	}
 	g.free = f.free.clone()
 	g.book = f.book.clone()
+	if f.dataMode {
+		g.pageBuf = make([]byte, len(f.pageBuf))
+	}
+	g.pending = nil
 	return &g
 }
 
@@ -163,14 +178,18 @@ func (f *BlockFTL) copyPages(lbn int64, log *logEnt, from, to int, ops *Ops) err
 	pb := int(f.data[lbn])
 	have := f.dataNext(lbn)
 	for p := from; p < to; p++ {
+		var payload []byte
 		if f.data[lbn] >= 0 && p < have {
 			if err := f.arr.ReadPage(pb, p); err != nil {
 				return fmt.Errorf("ftl: merge read: %w", err)
 			}
 			ops.MergeReads++
 			f.stats.PagesRead++
+			if f.dataMode {
+				payload, _ = f.arr.PageData(pb, p) // moved verbatim
+			}
 		}
-		if err := f.arr.ProgramPage(log.pb, p); err != nil {
+		if err := f.arr.ProgramPageData(log.pb, p, payload); err != nil {
 			return fmt.Errorf("ftl: merge program: %w", err)
 		}
 		ops.MergePrograms++
@@ -300,7 +319,11 @@ func (f *BlockFTL) writeSegment(lbn, start, end int64, ops *Ops) error {
 		}
 	}
 	for p := sPage; p <= ePage; p++ {
-		if err := f.arr.ProgramPage(log.pb, p); err != nil {
+		var payload []byte
+		if f.dataMode {
+			payload = f.stagePage(lbn, p)
+		}
+		if err := f.arr.ProgramPageData(log.pb, p, payload); err != nil {
 			return fmt.Errorf("ftl: log program: %w", err)
 		}
 		ops.PagePrograms++
@@ -320,6 +343,79 @@ func (f *BlockFTL) writeSegment(lbn, start, end int64, ops *Ops) error {
 	f.book.touch(lbn, ops)
 	f.stats.MapFlushes += int64(ops.MapFlushes - before)
 	return nil
+}
+
+// stagePage assembles the payload for page p of lbn during a host write:
+// the page's current content (zeros when none) overlaid with the pending
+// WriteData bytes that fall inside the page. A plain Write on a
+// data-enabled stack has no pending bytes, leaving the covered range as the
+// page's old content — "unspecified", as documented on DataPlane.
+func (f *BlockFTL) stagePage(lbn int64, p int) []byte {
+	clear(f.pageBuf)
+	if pb, ok := f.pageLocation(lbn, p); ok {
+		if data, err := f.arr.PageData(pb, p); err == nil {
+			copy(f.pageBuf, data)
+		}
+	}
+	if f.pending != nil {
+		pageStart := lbn*f.blockBytes + int64(p)*int64(len(f.pageBuf))
+		overlay(f.pageBuf, pageStart, f.pending, f.pendingOff)
+	}
+	return f.pageBuf
+}
+
+// StoresData reports whether the flash underneath retains payloads.
+func (f *BlockFTL) StoresData() bool { return f.dataMode }
+
+// WriteData implements the data plane: exactly Write(off, len(data)) with
+// the payload carried into the chips (and preserved across merges).
+func (f *BlockFTL) WriteData(off int64, data []byte) (Ops, error) {
+	if !f.dataMode {
+		return Ops{}, ErrNoDataStorage
+	}
+	f.pending, f.pendingOff = data, off
+	ops, err := f.Write(off, int64(len(data)))
+	f.pending = nil
+	return ops, err
+}
+
+// ReadData implements the data plane: exactly Read(off, len(buf)) plus the
+// observed bytes.
+func (f *BlockFTL) ReadData(off int64, buf []byte) (Ops, error) {
+	if !f.dataMode {
+		return Ops{}, ErrNoDataStorage
+	}
+	ops, err := f.Read(off, int64(len(buf)))
+	if err != nil {
+		return ops, err
+	}
+	f.peekData(off, buf)
+	return ops, nil
+}
+
+// peekData fills buf with the current bytes at off without any flash
+// operation (zeros for unmapped pages).
+func (f *BlockFTL) peekData(off int64, buf []byte) {
+	clear(buf)
+	pageSize := int64(f.arr.Geometry().PageSize)
+	for covered := int64(0); covered < int64(len(buf)); {
+		gp := (off + covered) / pageSize
+		pageOff := (off + covered) % pageSize
+		n := pageSize - pageOff
+		if rest := int64(len(buf)) - covered; n > rest {
+			n = rest
+		}
+		lbn := gp * pageSize / f.blockBytes
+		pageInBlock := int(gp % (f.blockBytes / pageSize))
+		if pb, ok := f.pageLocation(lbn, pageInBlock); ok {
+			if data, err := f.arr.PageData(pb, pageInBlock); err == nil {
+				if int64(len(data)) > pageOff {
+					copy(buf[covered:covered+n], data[pageOff:])
+				}
+			}
+		}
+		covered += n
+	}
 }
 
 // Write services a host write.

@@ -116,6 +116,15 @@ type WriteCache struct {
 	// touched is a per-call scratch buffer reused across writes so the hot
 	// path does not allocate.
 	touched []*cacheRegion
+
+	// Data plane (inner stack stores payloads only): buffered bytes per
+	// dirty line, the inner layer's data interfaces, and a flush-run
+	// staging buffer.
+	dataMode  bool
+	lineData  map[int64][]byte
+	innerData DataPlane
+	innerPeek peeker
+	runBuf    []byte
 }
 
 // NewWriteCache wraps inner with a region-coalescing write-back buffer. A
@@ -128,7 +137,7 @@ func NewWriteCache(inner Translator, cfg CacheConfig, model CostModel) (*WriteCa
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &WriteCache{
+	c := &WriteCache{
 		inner:          inner,
 		model:          model,
 		cfg:            cfg,
@@ -137,7 +146,14 @@ func NewWriteCache(inner Translator, cfg CacheConfig, model CostModel) (*WriteCa
 		regions:        make(map[int64]*cacheRegion),
 		streamLRU:      list.New(),
 		zoneLRU:        list.New(),
-	}, nil
+	}
+	if dp, ok := inner.(DataPlane); ok && dp.StoresData() {
+		c.dataMode = true
+		c.lineData = make(map[int64][]byte)
+		c.innerData = dp
+		c.innerPeek = inner.(peeker)
+	}
+	return c, nil
 }
 
 // Capacity returns the logical capacity of the underlying layer.
@@ -170,6 +186,15 @@ func (c *WriteCache) Clone() Translator {
 	}
 	copyLRU(c.streamLRU, g.streamLRU)
 	copyLRU(c.zoneLRU, g.zoneLRU)
+	if c.dataMode {
+		g.lineData = make(map[int64][]byte, len(c.lineData))
+		for l, buf := range c.lineData {
+			g.lineData[l] = append([]byte(nil), buf...)
+		}
+		g.innerData = g.inner.(DataPlane)
+		g.innerPeek = g.inner.(peeker)
+		g.runBuf = nil
+	}
 	return &g
 }
 
@@ -193,19 +218,40 @@ func (c *WriteCache) lruOf(r *cacheRegion) *list.List {
 }
 
 // flushRegion writes all dirty lines of r through to the inner layer as
-// contiguous runs and removes the region.
+// contiguous runs and removes the region. In data mode the buffered line
+// bytes travel down with each run (zeros for lines dirtied through the
+// plain, payload-less Write).
 func (c *WriteCache) flushRegion(r *cacheRegion, ops *Ops) error {
 	c.lruOf(r).Remove(r.elem)
 	delete(c.regions, r.id)
 	c.totalLines -= int64(len(r.lines))
 	lb := int64(c.cfg.LineBytes)
 	base := r.id * int64(c.cfg.RegionBytes)
+	firstLine := r.id * c.linesPerRegion
 	var runStart int64 = -1
 	flushRun := func(endExclusive int64) error {
 		if runStart < 0 {
 			return nil
 		}
-		inner, err := c.inner.Write(base+runStart*lb, (endExclusive-runStart)*lb)
+		off, length := base+runStart*lb, (endExclusive-runStart)*lb
+		var inner Ops
+		var err error
+		if c.dataMode {
+			if int64(len(c.runBuf)) < length {
+				c.runBuf = make([]byte, c.cfg.RegionBytes)
+			}
+			run := c.runBuf[:length]
+			clear(run)
+			for l := runStart; l < endExclusive; l++ {
+				if buf, ok := c.lineData[firstLine+l]; ok {
+					copy(run[(l-runStart)*lb:], buf)
+					delete(c.lineData, firstLine+l)
+				}
+			}
+			inner, err = c.innerData.WriteData(off, run)
+		} else {
+			inner, err = c.inner.Write(off, length)
+		}
 		if err != nil {
 			return err
 		}
@@ -407,6 +453,88 @@ func (c *WriteCache) Read(off, length int64) (Ops, error) {
 		return ops, err
 	}
 	return ops, nil
+}
+
+// StoresData reports whether the stack underneath retains payloads.
+func (c *WriteCache) StoresData() bool { return c.dataMode }
+
+// WriteData implements the data plane: exactly Write(off, len(data)) with
+// the bytes buffered per line (and pushed down with every flush). Lines only
+// partially covered by the write are read-filled from the inner layer first,
+// so a later flush writes whole lines with correct content.
+func (c *WriteCache) WriteData(off int64, data []byte) (Ops, error) {
+	if !c.dataMode {
+		return Ops{}, ErrNoDataStorage
+	}
+	if err := checkRange(off, int64(len(data)), c.inner.Capacity()); err != nil {
+		return Ops{}, err
+	}
+	lb := int64(c.cfg.LineBytes)
+	l0 := off / lb
+	l1 := (off + int64(len(data)) - 1) / lb
+	for gl := l0; gl <= l1; gl++ {
+		buf, ok := c.lineData[gl]
+		if !ok {
+			buf = make([]byte, lb)
+			lineStart := gl * lb
+			if lineStart < off || lineStart+lb > off+int64(len(data)) {
+				// Partially covered fresh line: fill with the bytes below
+				// (a dirty-but-bufferless line from a plain Write stays
+				// zeros — its content is unspecified anyway).
+				if r, dirty := c.regions[gl/c.linesPerRegion]; !dirty || !lineDirty(r, gl%c.linesPerRegion) {
+					c.innerPeek.peekData(lineStart, buf)
+				}
+			}
+			c.lineData[gl] = buf
+		}
+		overlay(buf, gl*lb, data, off)
+	}
+	return c.Write(off, int64(len(data)))
+}
+
+func lineDirty(r *cacheRegion, lineInR int64) bool {
+	_, ok := r.lines[lineInR]
+	return ok
+}
+
+// ReadData implements the data plane: exactly Read(off, len(buf)) plus the
+// observed bytes — buffered lines from the cache, the rest from below.
+func (c *WriteCache) ReadData(off int64, buf []byte) (Ops, error) {
+	if !c.dataMode {
+		return Ops{}, ErrNoDataStorage
+	}
+	ops, err := c.Read(off, int64(len(buf)))
+	if err != nil {
+		return ops, err
+	}
+	c.peekData(off, buf)
+	return ops, nil
+}
+
+// peekData fills buf with the current bytes at off without any flash
+// operation: dirty buffered lines win over the inner layer's content.
+func (c *WriteCache) peekData(off int64, buf []byte) {
+	lb := int64(c.cfg.LineBytes)
+	for covered := int64(0); covered < int64(len(buf)); {
+		gl := (off + covered) / lb
+		lineOff := (off + covered) % lb
+		n := lb - lineOff
+		if rest := int64(len(buf)) - covered; n > rest {
+			n = rest
+		}
+		dst := buf[covered : covered+n]
+		r, ok := c.regions[gl/c.linesPerRegion]
+		switch {
+		case ok && lineDirty(r, gl%c.linesPerRegion):
+			clear(dst)
+			if line, has := c.lineData[gl]; has {
+				copy(dst, line[lineOff:])
+			}
+		default:
+			c.innerPeek.peekData(off+covered, dst)
+		}
+		covered += n
+	}
 }
 
 // Idle forwards idle time to the inner layer and, when configured, destages

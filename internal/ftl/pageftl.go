@@ -120,6 +120,14 @@ type PageFTL struct {
 	stats      Stats
 
 	lastReadSlot int64 // physical slot of previous page read, for pipelining
+
+	// Data plane (flash built with data storage only): pending host bytes
+	// of the WriteData call in flight, and the staging buffer holding one
+	// unit's merged payload while it is relocated.
+	dataMode   bool
+	pending    []byte
+	pendingOff int64
+	unitData   []byte
 }
 
 // NewPageFTL builds a page-mapped FTL over the array. The flash must be in
@@ -165,6 +173,10 @@ func NewPageFTL(arr *Array, cfg PageConfig, model CostModel) (*PageFTL, error) {
 	}
 	f.gcWP = writePoint{block: -1, lastUnit: -2}
 	f.book = newMapBook(int64(cfg.MapUnitsPerPage), cfg.MapDirtyLimit)
+	if arr.StoresData() {
+		f.dataMode = true
+		f.unitData = make([]byte, cfg.UnitBytes)
+	}
 	return f, nil
 }
 
@@ -184,6 +196,10 @@ func (f *PageFTL) Clone() Translator {
 	g.victims = f.victims.clone()
 	g.wps = append([]writePoint(nil), f.wps...)
 	g.book = f.book.clone()
+	if f.dataMode {
+		g.unitData = make([]byte, len(f.unitData))
+	}
+	g.pending = nil
 	return &g
 }
 
@@ -345,8 +361,21 @@ func (f *PageFTL) appendUnit(wp *writePoint, unit int64, ops *Ops, forGC bool, h
 		wp.block = b
 		wp.nextSlot = 0
 	}
+	if f.dataMode {
+		// Stage the unit's payload — current content overlaid with any
+		// pending host bytes — after block allocation (an inline GC above
+		// may just have relocated this unit) and before the maps move.
+		f.stageUnit(unit, !forGC)
+	}
 	base := wp.nextSlot * f.pagesPerUnit
+	pageSize := f.arr.Geometry().PageSize
 	for p := 0; p < f.pagesPerUnit; p++ {
+		if f.dataMode {
+			if err := f.arr.ProgramPageData(wp.block, base+p, f.unitData[p*pageSize:(p+1)*pageSize]); err != nil {
+				return fmt.Errorf("ftl: program: %w", err)
+			}
+			continue
+		}
 		if err := f.arr.ProgramPage(wp.block, base+p); err != nil {
 			return fmt.Errorf("ftl: program: %w", err)
 		}
@@ -387,6 +416,84 @@ func (f *PageFTL) appendUnit(wp *writePoint, unit int64, ops *Ops, forGC bool, h
 		f.stats.MapFlushes += int64(ops.MapFlushes - before)
 	}
 	return nil
+}
+
+// stageUnit assembles the payload the unit's relocation must carry into
+// f.unitData: the unit's current stored bytes (zeros where none), overlaid —
+// on the host path only — with the pending WriteData bytes that fall inside
+// the unit. GC relocations (overlayHost false) move content verbatim.
+func (f *PageFTL) stageUnit(unit int64, overlayHost bool) {
+	clear(f.unitData)
+	pageSize := f.arr.Geometry().PageSize
+	if old := f.fmap[unit]; old >= 0 {
+		block := int(old / int64(f.unitsPerBlock))
+		slot := int(old % int64(f.unitsPerBlock))
+		for p := 0; p < f.pagesPerUnit; p++ {
+			if data, err := f.arr.PageData(block, slot*f.pagesPerUnit+p); err == nil {
+				copy(f.unitData[p*pageSize:(p+1)*pageSize], data)
+			}
+		}
+	}
+	if overlayHost && f.pending != nil {
+		overlay(f.unitData, unit*f.unitBytes, f.pending, f.pendingOff)
+	}
+}
+
+// StoresData reports whether the flash underneath retains payloads.
+func (f *PageFTL) StoresData() bool { return f.dataMode }
+
+// WriteData implements the data plane: exactly Write(off, len(data)) with
+// the payload carried into the chips (and preserved across every later
+// relocation).
+func (f *PageFTL) WriteData(off int64, data []byte) (Ops, error) {
+	if !f.dataMode {
+		return Ops{}, ErrNoDataStorage
+	}
+	f.pending, f.pendingOff = data, off
+	ops, err := f.Write(off, int64(len(data)))
+	f.pending = nil
+	return ops, err
+}
+
+// ReadData implements the data plane: exactly Read(off, len(buf)) plus the
+// observed bytes.
+func (f *PageFTL) ReadData(off int64, buf []byte) (Ops, error) {
+	if !f.dataMode {
+		return Ops{}, ErrNoDataStorage
+	}
+	ops, err := f.Read(off, int64(len(buf)))
+	if err != nil {
+		return ops, err
+	}
+	f.peekData(off, buf)
+	return ops, nil
+}
+
+// peekData fills buf with the current bytes at off without any flash
+// operation (zeros for unmapped or payload-free pages).
+func (f *PageFTL) peekData(off int64, buf []byte) {
+	clear(buf)
+	pageSize := int64(f.arr.Geometry().PageSize)
+	for covered := int64(0); covered < int64(len(buf)); {
+		gp := (off + covered) / pageSize
+		pageOff := (off + covered) % pageSize
+		n := pageSize - pageOff
+		if rest := int64(len(buf)) - covered; n > rest {
+			n = rest
+		}
+		unit := gp * pageSize / f.unitBytes
+		if ps := f.fmap[unit]; ps >= 0 {
+			block := int(ps / int64(f.unitsPerBlock))
+			slot := int(ps % int64(f.unitsPerBlock))
+			pageInUnit := int(gp % (f.unitBytes / pageSize))
+			if data, err := f.arr.PageData(block, slot*f.pagesPerUnit+pageInUnit); err == nil {
+				if int64(len(data)) > pageOff {
+					copy(buf[covered:covered+n], data[pageOff:])
+				}
+			}
+		}
+		covered += n
+	}
 }
 
 // pickWP returns the write point for a unit: a stream whose last unit is the

@@ -163,6 +163,12 @@ func MeasurePause(dev device.Device, d core.Defaults, startAt time.Duration) (*P
 	runSeq := func(count int, off int64) (*core.Run, error) {
 		p := core.SR.Pattern(d)
 		p.IOCount = count
+		// On scaled-down capacities the second batch's offset (placed after
+		// the first batch's span) can land beyond the device; start over at
+		// the beginning instead of failing.
+		if off+d.IOSize > dev.Capacity() {
+			off = 0
+		}
 		p.TargetOffset = off
 		// Wrap within the device when the read batch exceeds it.
 		p.TargetSize = int64(count) * d.IOSize

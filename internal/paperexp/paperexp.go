@@ -60,19 +60,17 @@ func (c Config) defaults(capacity int64) core.Defaults {
 
 // Prepare builds the named device at the configured capacity and enforces
 // the random initial state (Section 4.1), returning the device and the
-// virtual time at which measurements may start.
+// virtual time at which measurements may start. The key may be a plain
+// profile key ("mtron") or a composite array spec ("stripe(2,mtron,mtron)");
+// for arrays, cfg.Capacity applies per member.
 func Prepare(key string, cfg Config) (device.Device, time.Duration, error) {
 	return prepareSim(key, cfg)
 }
 
-// prepareSim is Prepare returning the concrete simulated device, which is
-// cloneable — the snapshot the engine master hands out per shard.
-func prepareSim(key string, cfg Config) (*device.SimDevice, time.Duration, error) {
-	p, err := profile.ByKey(key)
-	if err != nil {
-		return nil, 0, err
-	}
-	dev, err := p.BuildWithCapacity(cfg.Capacity)
+// prepareSim is Prepare returning the cloneable simulated device — the
+// snapshot the engine master hands out per shard.
+func prepareSim(key string, cfg Config) (device.Cloneable, time.Duration, error) {
+	dev, err := profile.BuildDevice(key, cfg.Capacity)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -92,13 +90,10 @@ func Master(key string, cfg Config) *engine.Master {
 }
 
 // PrepareOutOfBox builds the device without any state enforcement — the
-// "fresh from the factory" state of the Section 4.1 anomaly.
+// "fresh from the factory" state of the Section 4.1 anomaly. Like Prepare it
+// accepts plain profile keys and composite array specs.
 func PrepareOutOfBox(key string, cfg Config) (device.Device, error) {
-	p, err := profile.ByKey(key)
-	if err != nil {
-		return nil, err
-	}
-	return p.BuildWithCapacity(cfg.Capacity)
+	return profile.BuildDevice(key, cfg.Capacity)
 }
 
 // Point is one sample of a parameter sweep.

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// ArrayRow is one row of the array scenario grid: a layout × member count ×
+// queue depth combination with the mean response time of the four baselines,
+// in Table 3's milliseconds.
+type ArrayRow struct {
+	// Spec is the canonical array spec the row measured.
+	Spec string `json:"spec"`
+	// Layout, Members and QueueDepth echo the combination.
+	Layout     string `json:"layout"`
+	Members    int    `json:"members"`
+	QueueDepth int    `json:"queue_depth"`
+	// Degree is the parallel-process degree the baselines ran at (the
+	// Parallelism micro-benchmark generalized to arrays; queue effects
+	// need concurrent submitters).
+	Degree int `json:"degree"`
+	// SRms, RRms, SWms and RWms are the baseline mean response times.
+	SRms float64 `json:"sr_ms"`
+	RRms float64 `json:"rr_ms"`
+	SWms float64 `json:"sw_ms"`
+	RWms float64 `json:"rw_ms"`
+}
+
+// ArrayTable renders the grid rows as a Table-3-style text table.
+func ArrayTable(rows []ArrayRow) *Table {
+	t := &Table{
+		Title:   "Array scenarios (baseline mean response times, ms)",
+		Headers: []string{"array", "layout", "members", "qd", "degree", "SR", "RR", "SW", "RW"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Spec, r.Layout, r.Members, r.QueueDepth, r.Degree, r.SRms, r.RRms, r.SWms, r.RWms)
+	}
+	return t
+}
+
+// ArraySection writes the array grid with a short legend.
+func ArraySection(w io.Writer, rows []ArrayRow) error {
+	if err := ArrayTable(rows).Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\n%d combinations; each baseline ran as %d concurrent processes per the Parallelism micro-benchmark.\n",
+		len(rows), degreeOf(rows))
+	return err
+}
+
+func degreeOf(rows []ArrayRow) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	return rows[0].Degree
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestCreateMakesParents is the regression test for result files landing in
+// fresh output trees: Create (used by every command-line output path —
+// uflip -out, uflip workload -out, -dump-trace, -cpuprofile, -memprofile)
+// must create missing parent directories instead of failing with a raw open
+// error.
+func TestCreateMakesParents(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "deeply", "nested", "out", "results.csv")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatalf("Create(%q): %v", path, err)
+	}
+	if _, err := f.WriteString("id\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("file missing after Create: %v", err)
+	}
+	// A bare file name (no directory component) must keep working.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	f2, err := Create("bare.csv")
+	if err != nil {
+		t.Fatalf("Create with bare name: %v", err)
+	}
+	f2.Close()
+}
+
+// TestSaveJSONMakesParents pins the JSON result path the same way.
+func TestSaveJSONMakesParents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a", "b", "runs.jsonl")
+	recs := []RunRecord{{ID: "x", Device: "mem", TotalSeconds: time.Second.Seconds()}}
+	if err := SaveJSON(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "x" {
+		t.Fatalf("round trip gave %+v", got)
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadSummaryCSV checks that the summary-CSV parser never panics and
+// that accepted input reaches a byte-stable canonical form after one
+// write/read cycle (the first cycle may canonicalize float spellings and
+// CSV line-ending normalizations; after that, write -> read -> write must be
+// a fixed point).
+func FuzzReadSummaryCSV(f *testing.F) {
+	header := "id,device,micro,base,param,value,n,min_s,max_s,mean_s,stddev_s,total_s\n"
+	for _, seed := range []string{
+		header + "Granularity/SW/IOSize=32768,mtron,Granularity,SW,IOSize,32768,1024,0.0001,0.01,0.0005,0.0002,1.5\n",
+		header + "a,b,c,d,e,0,0,0,0,0,0,0\n",
+		header + "\"quo,ted\",b,c,d,e,1,2,NaN,+Inf,-0,1e-300,0.25\n",
+		header,
+		"wrong,header\n1,2\n",
+		header + "a,b,c,d,e,notanint,0,0,0,0,0,0\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadSummaryCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var b1 bytes.Buffer
+		if err := WriteSummaryCSV(&b1, recs); err != nil {
+			t.Fatalf("write accepted records: %v", err)
+		}
+		recs2, err := ReadSummaryCSV(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("reread written summary: %v", err)
+		}
+		var b2 bytes.Buffer
+		if err := WriteSummaryCSV(&b2, recs2); err != nil {
+			t.Fatal(err)
+		}
+		recs3, err := ReadSummaryCSV(bytes.NewReader(b2.Bytes()))
+		if err != nil {
+			t.Fatalf("reread canonical summary: %v", err)
+		}
+		var b3 bytes.Buffer
+		if err := WriteSummaryCSV(&b3, recs3); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b2.Bytes(), b3.Bytes()) {
+			t.Fatal("summary CSV does not reach a byte-stable canonical form")
+		}
+	})
+}
+
+// FuzzReadRTSeriesCSV checks that the per-IO series parser never panics and
+// that accepted series round-trip losslessly: the MaxRTSeconds bound makes
+// the seconds float round trip provably exact, so one write/read cycle is
+// already the identity.
+func FuzzReadRTSeriesCSV(f *testing.F) {
+	for _, seed := range []string{
+		"io,rt_s\n0,0.0001\n1,0.01\n",
+		"io,rt_s\n",
+		"io,rt_s\n0,NaN\n",
+		"io,rt_s\n0,-1\n",
+		"io,rt_s\n0,1e300\n",
+		"io,rt_ms\n0,1\n",
+		"io,rt_s\n0,5.5e5\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rts, err := ReadRTSeriesCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, rt := range rts {
+			if rt < 0 {
+				t.Fatalf("accepted negative response time at row %d: %v", i, rt)
+			}
+		}
+		var b1 bytes.Buffer
+		if err := WriteRTSeriesCSV(&b1, rts); err != nil {
+			t.Fatalf("write accepted series: %v", err)
+		}
+		rts2, err := ReadRTSeriesCSV(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("reread written series: %v", err)
+		}
+		if !reflect.DeepEqual(rts, rts2) {
+			t.Fatal("RT series round trip drifts")
+		}
+		var b2 bytes.Buffer
+		if err := WriteRTSeriesCSV(&b2, rts2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("written RT series is not byte-stable")
+		}
+	})
+}

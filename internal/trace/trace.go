@@ -86,12 +86,21 @@ func ReadJSON(r io.Reader) ([]RunRecord, error) {
 	}
 }
 
+// Create opens path for writing like os.Create but first creates any missing
+// parent directories, so result files can land in fresh output trees without
+// the caller pre-creating them.
+func Create(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return os.Create(path)
+}
+
 // SaveJSON writes records to a file, creating parent directories.
 func SaveJSON(path string, records []RunRecord) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("trace: %w", err)
-	}
-	f, err := os.Create(path)
+	f, err := Create(path)
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
@@ -220,8 +229,15 @@ func WriteRTSeriesCSV(w io.Writer, rts []time.Duration) error {
 	return cw.Error()
 }
 
+// MaxRTSeconds bounds the response time an RT-series row may carry
+// (~6.5 days). Beyond it the seconds-to-nanoseconds float round trip can
+// drift, which would break the byte-stability guarantee; a larger per-IO
+// response time in a benchmark result is nonsense anyway.
+const MaxRTSeconds = float64(int64(1)<<49) / 1e9
+
 // ReadRTSeriesCSV parses the output of WriteRTSeriesCSV back into durations,
-// rounding each value to the nearest nanosecond.
+// rounding each value to the nearest nanosecond. Values must be finite,
+// non-negative and at most MaxRTSeconds.
 func ReadRTSeriesCSV(r io.Reader) ([]time.Duration, error) {
 	cr := csv.NewReader(r)
 	rows, err := cr.ReadAll()
@@ -230,7 +246,10 @@ func ReadRTSeriesCSV(r io.Reader) ([]time.Duration, error) {
 	}
 	// Require the exact header: an older io,rt_ms file read as seconds
 	// would inflate every duration by a factor of 1000.
-	if len(rows) == 0 || len(rows[0]) != 2 || rows[0][0] != "io" || rows[0][1] != "rt_s" {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: RT series CSV is empty")
+	}
+	if len(rows[0]) != 2 || rows[0][0] != "io" || rows[0][1] != "rt_s" {
 		return nil, fmt.Errorf("trace: unexpected RT series CSV header %v (want io,rt_s)", rows[0])
 	}
 	out := make([]time.Duration, 0, len(rows)-1)
@@ -238,6 +257,9 @@ func ReadRTSeriesCSV(r io.Reader) ([]time.Duration, error) {
 		s, err := strconv.ParseFloat(row[1], 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: RT series row %d: %w", i+1, err)
+		}
+		if math.IsNaN(s) || s < 0 || s > MaxRTSeconds {
+			return nil, fmt.Errorf("trace: RT series row %d: %v outside [0, %v]", i+1, s, MaxRTSeconds)
 		}
 		out = append(out, time.Duration(math.Round(s*float64(time.Second))))
 	}

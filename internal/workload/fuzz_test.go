@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadTrace checks that the block-trace CSV parser never panics and that
+// every accepted trace round-trips losslessly: write -> read gives back the
+// same ops, and the written form is a byte-stable fixed point. The gap bound
+// (MaxGapUS) is what makes the microseconds float round trip provably exact.
+func FuzzReadTrace(f *testing.F) {
+	for _, seed := range []string{
+		"offset,size,mode,gap_us\n4096,8192,R,0\n131072,32768,W,120.5\n",
+		"0,512,r,0.001\n",
+		"# comment\n4096,4096,W,1e3\n",
+		"offset,size,mode,gap_us\n",
+		"4096,8192,R,-1\n",
+		"4096,8192,X,0\n",
+		"4096,8192,R,1e300\n",
+		"4096,0,R,0\n",
+		"-1,512,W,0\n",
+		"9223372036854775807,512,W,0\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, op := range ops {
+			if op.IO.Off < 0 || op.IO.Size <= 0 || op.Gap < 0 {
+				t.Fatalf("accepted invalid op %d: %+v", i, op)
+			}
+		}
+		var b1 bytes.Buffer
+		if err := WriteTrace(&b1, ops); err != nil {
+			t.Fatalf("write accepted trace: %v", err)
+		}
+		ops2, err := ReadTrace(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("reread written trace: %v", err)
+		}
+		if !reflect.DeepEqual(ops, ops2) {
+			t.Fatalf("trace round trip drifts:\n %+v\n vs\n %+v", ops[:min(4, len(ops))], ops2[:min(4, len(ops2))])
+		}
+		var b2 bytes.Buffer
+		if err := WriteTrace(&b2, ops2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("written trace is not byte-stable")
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

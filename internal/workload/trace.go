@@ -6,12 +6,12 @@ import (
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"uflip/internal/device"
+	"uflip/internal/trace"
 )
 
 // The block-trace CSV format is one IO per row:
@@ -29,6 +29,12 @@ import (
 
 // traceHeader is the canonical header row WriteTrace emits.
 var traceHeader = []string{"offset", "size", "mode", "gap_us"}
+
+// MaxGapUS bounds the inter-arrival gap a trace row may carry (~6.5 days).
+// Beyond it the microseconds-to-nanoseconds float round trip can drift by a
+// nanosecond, which would break the byte-stability guarantee; a larger gap
+// in a block trace is nonsense anyway.
+const MaxGapUS = float64((int64(1) << 49) / 1e3)
 
 // WriteTrace writes ops in the block-trace CSV format.
 func WriteTrace(w io.Writer, ops []Op) error {
@@ -112,9 +118,10 @@ func parseTraceRow(rec []string) (Op, error) {
 		return op, fmt.Errorf("size %d must be positive", size)
 	case gapUS < 0 || math.IsNaN(gapUS) || math.IsInf(gapUS, 0):
 		return op, fmt.Errorf("gap_us %v must be a non-negative finite number", gapUS)
-	case gapUS*1e3 >= float64(math.MaxInt64):
-		// The float->Duration conversion would overflow into a negative gap.
-		return op, fmt.Errorf("gap_us %v exceeds the representable range", gapUS)
+	case gapUS > MaxGapUS:
+		// Beyond this the us -> ns -> us float round trip is no longer
+		// exact (and a Duration conversion would eventually overflow).
+		return op, fmt.Errorf("gap_us %v exceeds the %v bound", gapUS, MaxGapUS)
 	}
 	op.IO = device.IO{Mode: mode, Off: off, Size: size}
 	op.Gap = time.Duration(math.Round(gapUS * 1e3))
@@ -123,10 +130,7 @@ func parseTraceRow(rec []string) (Op, error) {
 
 // SaveTrace writes ops to a file, creating parent directories.
 func SaveTrace(path string, ops []Op) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("workload: %w", err)
-	}
-	f, err := os.Create(path)
+	f, err := trace.Create(path)
 	if err != nil {
 		return fmt.Errorf("workload: %w", err)
 	}
