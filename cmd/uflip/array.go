@@ -17,6 +17,7 @@ import (
 	"uflip/internal/paperexp"
 	"uflip/internal/profile"
 	"uflip/internal/report"
+	"uflip/internal/statestore"
 	"uflip/internal/trace"
 )
 
@@ -36,6 +37,7 @@ func runArray(args []string) error {
 		seed     = fs.Int64("seed", 42, "random seed")
 		iocount  = fs.Int("iocount", 1024, "IOs per baseline run")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count (1 = sequential fallback; the grid is identical for any value)")
+		stateDir = fs.String("statedir", "", "persistent state-cache directory: each combination's enforced master loads from it instead of re-filling (the grid is byte-identical)")
 		outDir   = fs.String("out", "", "directory for the JSON grid")
 		verbose  = fs.Bool("v", false, "log each completed run")
 	)
@@ -65,6 +67,11 @@ func runArray(args []string) error {
 		return err
 	}
 	cfg := paperexp.Config{Capacity: *capacity, Seed: *seed, IOCount: *iocount, Pause: paperexp.DefaultConfig().Pause}
+	if *stateDir != "" {
+		if cfg.Store, err = statestore.Open(*stateDir); err != nil {
+			return err
+		}
+	}
 
 	combos := len(ac.Layouts) * len(ac.Counts) * len(ac.QueueDepths)
 	fmt.Printf("== array sweep over %s: %d layouts x %d counts x %d queue depths = %d combinations, degree %d, %d workers\n",

@@ -30,6 +30,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -43,6 +44,7 @@ import (
 	"uflip/internal/paperexp"
 	"uflip/internal/profile"
 	"uflip/internal/report"
+	"uflip/internal/statestore"
 	"uflip/internal/trace"
 )
 
@@ -53,6 +55,8 @@ func main() {
 		err = runWorkload(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "array":
 		err = runArray(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "serve":
+		err = runServe(os.Args[2:])
 	default:
 		err = run()
 	}
@@ -70,6 +74,7 @@ func run() error {
 		ioCount  = flag.Int("iocount", 1024, "base run length before methodology scaling")
 		seed     = flag.Int64("seed", 42, "random seed")
 		outDir   = flag.String("out", "", "directory for JSON/CSV results")
+		stateDir = flag.String("statedir", "", "persistent state-cache directory: enforced device states are saved there and later runs load them instead of re-filling (results are byte-identical)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for plan execution (1 = sequential fallback; results are identical for any value)")
 		verbose  = flag.Bool("v", false, "log each run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
@@ -92,109 +97,87 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	dev, err := profile.BuildDevice(*devKey, *capacity)
-	if err != nil {
-		return err
+	cfg := paperexp.Config{Capacity: *capacity, Seed: *seed, IOCount: *ioCount}
+	if *stateDir != "" {
+		if cfg.Store, err = statestore.Open(*stateDir); err != nil {
+			return err
+		}
 	}
-
-	// Methodology, step 1: enforce the random initial state (Section 4.1).
 	fmt.Printf("== %s (%s)\n", *devKey, desc)
-	fmt.Printf("enforcing random state over %d MB...\n", dev.Capacity()>>20)
-	at, err := methodology.EnforceRandomState(dev, *seed)
-	if err != nil {
-		return err
+	// With a state cache, enforcement narration moves to stderr so stdout
+	// stays byte-identical between the cold run (which fills and saves) and
+	// every warm run (which loads and skips the fill).
+	stateOut := io.Writer(os.Stdout)
+	if cfg.Store != nil {
+		stateOut = os.Stderr
 	}
-	fmt.Printf("state enforced in %v of device time\n", at.Round(time.Second))
-
-	// Step 2: measure start-up and running phases (Section 4.2).
-	d := core.StandardDefaults()
-	d.IOCount = *ioCount
-	d.Seed = *seed
-	d.RandomTarget = dev.Capacity() / 2
-	phases, err := methodology.MeasurePhases(dev, d, 4*(*ioCount), at+5*time.Second)
-	if err != nil {
-		return err
+	var renderErr error
+	stages := paperexp.Stages{
+		EnforcingState: func(capacity int64) {
+			if cfg.Store != nil {
+				fmt.Fprintf(stateOut, "preparing enforced random state over %d MB (cache: %s)...\n", capacity>>20, *stateDir)
+				return
+			}
+			fmt.Fprintf(stateOut, "enforcing random state over %d MB...\n", capacity>>20)
+		},
+		StateEnforced: func(at time.Duration, hit bool) {
+			if hit {
+				fmt.Fprintf(stateOut, "state cache hit: loaded enforced state (%v of device time), fill skipped\n", at.Round(time.Second))
+				return
+			}
+			suffix := ""
+			if cfg.Store != nil {
+				suffix = " (saved to state cache)"
+			}
+			fmt.Fprintf(stateOut, "state enforced in %v of device time%s\n", at.Round(time.Second), suffix)
+		},
+		PhasesMeasured: func(phases *methodology.PhaseReport) {
+			fmt.Println()
+			if err := report.PhaseTable(phases).Render(os.Stdout); err != nil && renderErr == nil {
+				renderErr = err
+			}
+		},
+		PauseMeasured: func(pauseRep *methodology.PauseReport) {
+			fmt.Printf("\nlingering effect after random writes: %d IOs (%v); pause between runs: %v\n",
+				pauseRep.LingerIOs, pauseRep.LingerTime.Round(time.Millisecond), pauseRep.RecommendedPause)
+		},
+		PlanBuilt: func(plan methodology.Plan, workers int) {
+			fmt.Printf("\nplan: %d runs, %d state resets; executing on %d workers\n",
+				len(plan.Steps)-plan.Resets, plan.Resets, workers)
+		},
 	}
-	fmt.Println()
-	if err := report.PhaseTable(phases).Render(os.Stdout); err != nil {
-		return err
-	}
-
-	// Step 3: determine the pause between runs (Section 4.3).
-	pauseRep, err := methodology.MeasurePause(dev, d, phases.End+5*time.Second)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("\nlingering effect after random writes: %d IOs (%v); pause between runs: %v\n",
-		pauseRep.LingerIOs, pauseRep.LingerTime.Round(time.Millisecond), pauseRep.RecommendedPause)
-
-	// Step 4: build and run the benchmark plan.
-	selected, err := selectMicros(*micros, d, dev.Capacity())
-	if err != nil {
-		return err
-	}
-	var exps []core.Experiment
-	for _, mb := range selected {
-		exps = append(exps, mb.Experiments...)
-	}
-	plan := methodology.BuildPlan(exps, dev.Capacity(), pauseRep.RecommendedPause, phases)
-	plan.Device = *devKey
-	workers := *parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	fmt.Printf("\nplan: %d runs, %d state resets; executing on %d workers\n",
-		len(plan.Steps)-plan.Resets, plan.Resets, workers)
 	var progress engine.ProgressFunc
 	if *verbose {
 		progress = func(done, total int, desc string) {
 			fmt.Printf("  [%d/%d] %s\n", done, total, desc)
 		}
 	}
-	// Plan runs execute through the engine: each shard gets its own freshly
-	// built device with the state enforced from the shard's derived seed, so
-	// any worker count produces identical merged results. Ctrl-C cancels
-	// between runs.
+	var selectedMicros []string
+	if *micros != "" {
+		selectedMicros = strings.Split(*micros, ",")
+	}
+	// Plan runs execute through the engine: each shard gets a clone of the
+	// one enforced master state, so any worker count produces identical
+	// merged results. Ctrl-C cancels between runs.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	factory := paperexp.ShardFactory(*devKey, paperexp.Config{
-		Capacity: *capacity,
-		Seed:     *seed,
-		Pause:    pauseRep.RecommendedPause,
-	})
-	results, err := engine.ExecutePlan(ctx, plan, factory, engine.Options{
-		Workers:  workers,
-		Seed:     *seed,
+	out, err := paperexp.RunBenchmark(ctx, *devKey, cfg, paperexp.BenchmarkRequest{
+		Micros:   selectedMicros,
+		Workers:  *parallel,
 		Progress: progress,
+		Stages:   stages,
 	})
 	if err != nil {
 		return err
 	}
+	if renderErr != nil {
+		return renderErr
+	}
+	results := out.Results
 	fmt.Printf("benchmark complete: %d runs, %v of device time on the longest shard\n\n", len(results.Results), results.Elapsed.Round(time.Second))
 
-	// Summaries per micro-benchmark.
-	for _, mb := range selected {
-		t := &report.Table{
-			Title:   mb.Name + " (" + mb.Description + ")",
-			Headers: []string{"experiment", "mean(ms)", "min(ms)", "max(ms)", "sd(ms)"},
-		}
-		for _, res := range results.Results {
-			if res.Exp.Micro != mb.Name {
-				continue
-			}
-			s := res.Run.Summary
-			t.AddRow(res.Exp.ID(), s.Mean*1e3, s.Min*1e3, s.Max*1e3, s.StdDev*1e3)
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-	}
-
-	// Key characteristics (the device's Table 3 row), when the needed
-	// micro-benchmarks ran.
-	char := report.Characterize(results, d.IOSize)
-	if err := report.CharacterTable([]report.DeviceCharacter{char}).Render(os.Stdout); err != nil {
+	// Summaries per micro-benchmark, then the device's Table 3 row.
+	if err := report.PlanSection(os.Stdout, out.Micros, results, core.StandardDefaults().IOSize); err != nil {
 		return err
 	}
 
@@ -222,45 +205,8 @@ func fileSafe(key string) string {
 	return strings.Trim(string(out), "_")
 }
 
-func selectMicros(csvList string, d core.Defaults, capacity int64) ([]core.Microbenchmark, error) {
-	all := core.AllMicrobenchmarks(d, capacity)
-	if csvList == "" {
-		return all, nil
-	}
-	byName := make(map[string]core.Microbenchmark, len(all))
-	var names []string
-	for _, mb := range all {
-		byName[strings.ToLower(mb.Name)] = mb
-		names = append(names, mb.Name)
-	}
-	var out []core.Microbenchmark
-	for _, want := range strings.Split(csvList, ",") {
-		mb, ok := byName[strings.ToLower(strings.TrimSpace(want))]
-		if !ok {
-			return nil, fmt.Errorf("unknown micro-benchmark %q (known: %s)", want, strings.Join(names, ", "))
-		}
-		out = append(out, mb)
-	}
-	return out, nil
-}
-
 func saveResults(dir, devKey string, results *methodology.Results) error {
-	records := make([]trace.RunRecord, 0, len(results.Results))
-	for _, res := range results.Results {
-		rec := trace.RunRecord{
-			ID:           res.Exp.ID(),
-			Device:       results.Device,
-			Micro:        res.Exp.Micro,
-			Base:         res.Exp.Base.String(),
-			Param:        res.Exp.Param,
-			Value:        res.Exp.Value,
-			IOIgnore:     res.Run.IOIgnore,
-			Summary:      res.Run.Summary,
-			TotalSeconds: res.Run.Total.Seconds(),
-		}
-		rec.SetResponseTimes(res.Run.RTs)
-		records = append(records, rec)
-	}
+	records := paperexp.Records(results)
 	if err := trace.SaveJSON(filepath.Join(dir, devKey+".jsonl"), records); err != nil {
 		return err
 	}

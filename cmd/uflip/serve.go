@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"uflip/internal/server"
+)
+
+// runServe implements the "uflip serve" subcommand: the long-running
+// experiment daemon. It accepts plan/workload/array jobs over HTTP, runs
+// them through the engine at configurable parallelism with per-job
+// cancellation, and shares one persistent state store across all jobs so
+// each (device, capacity, seed) state is enforced at most once — ever.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("uflip serve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8077", "listen address")
+		stateDir = fs.String("statedir", "", "persistent state-store directory shared by all jobs (empty = enforce live per master)")
+		queue    = fs.Int("queue", 64, "maximum queued jobs; submissions beyond it are rejected with 503")
+		jobs     = fs.Int("jobs", 2, "jobs executed concurrently")
+		keep     = fs.Int("keep", 256, "finished jobs retained in memory (oldest evicted first)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "default engine workers per job (requests may override; results are identical for any value)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	srv, err := server.New(server.Config{
+		StateDir:        *stateDir,
+		QueueSize:       *queue,
+		Workers:         *jobs,
+		DefaultParallel: *parallel,
+		KeepJobs:        *keep,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("uflip serve: listening on http://%s (%d job workers, queue %d", ln.Addr(), *jobs, *queue)
+	if *stateDir != "" {
+		fmt.Printf(", state store %s", *stateDir)
+	}
+	fmt.Println(")")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		fmt.Println("uflip serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+		srv.Close()
+		return nil
+	case err := <-done:
+		srv.Close()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

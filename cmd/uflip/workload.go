@@ -15,6 +15,7 @@ import (
 	"uflip/internal/paperexp"
 	"uflip/internal/profile"
 	"uflip/internal/report"
+	"uflip/internal/statestore"
 	"uflip/internal/trace"
 	"uflip/internal/workload"
 )
@@ -44,6 +45,7 @@ func runWorkload(args []string) error {
 		burstOps  = fs.Int("burst", 32, "ops per burst for the bursty workload")
 		burstGap  = fs.Duration("burst-gap", 100*time.Millisecond, "pause before each burst for the bursty workload")
 		dumpTrace = fs.String("dump-trace", "", "also write the generated stream as a block-trace CSV to this path")
+		stateDir  = fs.String("statedir", "", "persistent state-cache directory: segment devices load their enforced state instead of re-filling (results are byte-identical)")
 		outDir    = fs.String("out", "", "directory for JSON/CSV replay results")
 		verbose   = fs.Bool("v", false, "log each completed segment")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
@@ -110,11 +112,17 @@ func runWorkload(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	factory := paperexp.ShardFactory(*devKey, paperexp.Config{
+	shardCfg := paperexp.Config{
 		Capacity: *capacity,
 		Seed:     *seed,
 		Pause:    time.Second,
-	})
+	}
+	if *stateDir != "" {
+		if shardCfg.Store, err = statestore.Open(*stateDir); err != nil {
+			return err
+		}
+	}
+	factory := paperexp.ShardFactory(*devKey, shardCfg)
 	res, err := workload.ReplayParallel(ctx, gen.Name(), stream, factory, workload.Options{
 		SegmentOps: *segment,
 		Workers:    workers,
@@ -155,47 +163,28 @@ func buildGenerator(kind, traceFile string, k generatorKnobs) (workload.Generato
 		}
 		return workload.Trace{Label: filepath.Base(traceFile), Ops: ops}, nil
 	}
-	oltp := workload.OLTP{
-		PageSize: k.pageSize, TargetSize: k.target, ReadFraction: k.readFrac,
-		Think: k.think, Count: k.ops, Seed: k.seed,
-	}
-	switch kind {
-	case "oltp":
-		return oltp, nil
-	case "append":
-		return workload.LogAppend{
-			Streams: k.streams, IOSize: k.ioSize, TargetSize: k.target,
-			Gap: k.think, Count: k.ops,
-		}, nil
-	case "zipf":
-		return workload.Zipfian{
-			PageSize: k.pageSize, TargetSize: k.target, S: k.zipfS,
-			ReadFraction: k.readFrac, Think: k.think, Count: k.ops, Seed: k.seed,
-		}, nil
-	case "bursty":
-		return workload.Bursty{Inner: oltp, BurstOps: k.burstOps, Gap: k.burstGap}, nil
-	default:
-		return nil, fmt.Errorf("unknown workload kind %q (want oltp, append, zipf, bursty, or pass -trace)", kind)
-	}
+	// Flags map onto the declarative spec the experiment server also
+	// accepts, so CLI and server builds of one workload are identical.
+	return workload.Spec{
+		Kind:         kind,
+		Count:        k.ops,
+		Seed:         k.seed,
+		PageSize:     k.pageSize,
+		IOSize:       k.ioSize,
+		TargetSize:   k.target,
+		ReadFraction: k.readFrac,
+		ZipfS:        k.zipfS,
+		Streams:      k.streams,
+		Think:        k.think,
+		BurstOps:     k.burstOps,
+		BurstGap:     k.burstGap,
+	}.Build()
 }
 
 // saveWorkloadResults persists the replay like benchmark runs: one RunRecord
 // per segment (with the per-IO series) as JSON lines plus a summary CSV.
 func saveWorkloadResults(dir, devKey string, res *workload.Result) error {
-	records := make([]trace.RunRecord, 0, len(res.Segments))
-	for i, run := range res.Segments {
-		rec := trace.RunRecord{
-			ID:           fmt.Sprintf("workload/%s/seg=%d", res.Name, i),
-			Device:       res.Device,
-			Micro:        "workload",
-			Param:        "Segment",
-			Value:        int64(i),
-			Summary:      run.Summary,
-			TotalSeconds: run.Total.Seconds(),
-		}
-		rec.SetResponseTimes(run.RTs)
-		records = append(records, rec)
-	}
+	records := paperexp.WorkloadRecords(res)
 	if err := trace.SaveJSON(filepath.Join(dir, devKey+"-workload.jsonl"), records); err != nil {
 		return err
 	}

@@ -55,6 +55,23 @@
 // baselines over layout x member count x queue depth into a Table-3-style
 // grid (byte-identical for any -parallel value).
 //
+// Enforced device states persist across processes through the state store
+// (internal/statestore, surfaced as the -statedir flag on every uflip
+// command): the first run of a (device spec, capacity, seed) combination
+// enforces the Section 4.1 state and saves the whole stack's serialized
+// form to disk — chip state, FTL maps, heap and LRU layouts, cache
+// buffers, pipeline clocks — and every later run loads it back instead of
+// replaying the fill, with results pinned byte-identical either way.
+// Files are content-addressed by a SHA-256 of the canonical key and carry
+// a format version and payload CRC, so corrupted or truncated caches fail
+// loudly instead of mis-loading. On top of the store, "uflip serve"
+// (internal/server) runs the simulator as a long-lived experiment daemon:
+// plan, workload and array-sweep jobs submitted as JSON over HTTP execute
+// through the same pipelines as the CLI (byte-identical results, pinned by
+// tests and a CI diff), with a bounded job queue, configurable per-job
+// parallelism, per-job cancellation, and one state store shared by all
+// jobs — each device state is enforced at most once, ever.
+//
 // A differential and fuzz test layer guards the simulator: 1-member arrays
 // are pinned byte-identical to their raw member over the full
 // micro-benchmark suite and the workload generators; the FTL data plane

@@ -1,0 +1,178 @@
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"uflip/internal/ftl"
+)
+
+// Snapshots are the exported, serializable form of a simulated device's
+// complete mutable state — everything CloneDevice copies — so the persistent
+// state store can save an enforced device to disk and restore it into a
+// freshly built instance of the same profile or array spec. Restoring
+// validates structure (stack shape, member count, queue depth) and fails
+// loudly on any mismatch.
+
+// SimSnapshot is the state of a SimDevice: the translation stack plus the
+// bus/flash pipeline clocks.
+type SimSnapshot struct {
+	Top       *ftl.TranslatorSnapshot
+	BusFree   time.Duration
+	FlashFree time.Duration
+	IdleMark  time.Duration
+	IOs       int64
+}
+
+// Snapshot captures the device's complete mutable state.
+func (d *SimDevice) Snapshot() (*SimSnapshot, error) {
+	top, err := ftl.SnapshotTranslator(d.top)
+	if err != nil {
+		return nil, err
+	}
+	return &SimSnapshot{
+		Top:       top,
+		BusFree:   d.busFree,
+		FlashFree: d.flashFree,
+		IdleMark:  d.idleMark,
+		IOs:       d.ios,
+	}, nil
+}
+
+// Restore overwrites the device's mutable state from the snapshot.
+func (d *SimDevice) Restore(s *SimSnapshot) error {
+	if s == nil {
+		return fmt.Errorf("device: nil sim snapshot")
+	}
+	if err := ftl.RestoreTranslator(d.top, s.Top); err != nil {
+		return err
+	}
+	d.busFree = s.BusFree
+	d.flashFree = s.FlashFree
+	d.idleMark = s.IdleMark
+	d.ios = s.IOs
+	return nil
+}
+
+// QueueSnapshot is one member's bounded host-side queue.
+type QueueSnapshot struct {
+	Ring []time.Duration
+	Idx  int
+}
+
+// CompositeSnapshot is the state of a composite array: every member's
+// snapshot plus the dispatch clock, queues and scheduling cursor.
+type CompositeSnapshot struct {
+	Members      []*DeviceSnapshot
+	Queues       []QueueSnapshot
+	DispatchFree time.Duration
+	RR           int
+	IOs          int64
+}
+
+// Snapshot captures the array's complete mutable state. Every member must
+// itself be snapshotable.
+func (d *CompositeDevice) Snapshot() (*CompositeSnapshot, error) {
+	s := &CompositeSnapshot{
+		Members:      make([]*DeviceSnapshot, len(d.members)),
+		Queues:       make([]QueueSnapshot, len(d.queues)),
+		DispatchFree: d.dispatchFree,
+		RR:           d.rr,
+		IOs:          d.ios,
+	}
+	for i, m := range d.members {
+		ms, err := SnapshotDevice(m)
+		if err != nil {
+			return nil, fmt.Errorf("device: composite member %d (%s): %w", i, m.Name(), err)
+		}
+		s.Members[i] = ms
+	}
+	for i, q := range d.queues {
+		s.Queues[i] = QueueSnapshot{Ring: append([]time.Duration(nil), q.ring...), Idx: q.idx}
+	}
+	return s, nil
+}
+
+// Restore overwrites the array's mutable state from the snapshot.
+func (d *CompositeDevice) Restore(s *CompositeSnapshot) error {
+	switch {
+	case s == nil:
+		return fmt.Errorf("device: nil composite snapshot")
+	case len(s.Members) != len(d.members):
+		return fmt.Errorf("device: snapshot has %d members, array %d", len(s.Members), len(d.members))
+	case len(s.Queues) != len(d.queues):
+		return fmt.Errorf("device: snapshot has %d queues, array %d", len(s.Queues), len(d.queues))
+	}
+	for i, qs := range s.Queues {
+		if len(qs.Ring) != len(d.queues[i].ring) {
+			return fmt.Errorf("device: snapshot queue %d depth %d, array %d", i, len(qs.Ring), len(d.queues[i].ring))
+		}
+		if qs.Idx < 0 || qs.Idx >= len(qs.Ring) {
+			return fmt.Errorf("device: snapshot queue %d index %d out of range", i, qs.Idx)
+		}
+	}
+	for i, ms := range s.Members {
+		if err := RestoreDevice(d.members[i], ms); err != nil {
+			return fmt.Errorf("device: composite member %d: %w", i, err)
+		}
+	}
+	for i, qs := range s.Queues {
+		copy(d.queues[i].ring, qs.Ring)
+		d.queues[i].idx = qs.Idx
+	}
+	d.dispatchFree = s.DispatchFree
+	d.rr = s.RR
+	d.ios = s.IOs
+	return nil
+}
+
+// DeviceSnapshot is the polymorphic snapshot of any snapshotable device:
+// exactly one field is set.
+type DeviceSnapshot struct {
+	Sim       *SimSnapshot
+	Composite *CompositeSnapshot
+}
+
+// SnapshotDevice captures a simulated device or composite array. Devices
+// without full in-memory state (files, real block devices) cannot be
+// snapshotted and return an error.
+func SnapshotDevice(d Device) (*DeviceSnapshot, error) {
+	switch dev := d.(type) {
+	case *SimDevice:
+		s, err := dev.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		return &DeviceSnapshot{Sim: s}, nil
+	case *CompositeDevice:
+		s, err := dev.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		return &DeviceSnapshot{Composite: s}, nil
+	default:
+		return nil, fmt.Errorf("device: %T cannot be snapshotted", d)
+	}
+}
+
+// RestoreDevice applies a snapshot to a freshly built device of the same
+// profile or array spec.
+func RestoreDevice(d Device, s *DeviceSnapshot) error {
+	if s == nil {
+		return fmt.Errorf("device: nil snapshot")
+	}
+	switch dev := d.(type) {
+	case *SimDevice:
+		if s.Sim == nil {
+			return fmt.Errorf("device: snapshot is not a simulated device")
+		}
+		return dev.Restore(s.Sim)
+	case *CompositeDevice:
+		if s.Composite == nil {
+			return fmt.Errorf("device: snapshot is not a composite array")
+		}
+		return dev.Restore(s.Composite)
+	default:
+		return fmt.Errorf("device: %T cannot be restored", d)
+	}
+}

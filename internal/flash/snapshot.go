@@ -1,0 +1,103 @@
+package flash
+
+import "fmt"
+
+// BlockSnapshot is the serializable state of one flash block.
+type BlockSnapshot struct {
+	EraseCount int
+	NextPage   int
+	Bad        bool
+	Pages      []PageState
+}
+
+// ChipSnapshot is the full serializable state of a chip: everything Clone
+// copies, in exported form, so the persistent state store can write an
+// enforced device to disk and restore it into a freshly built chip. The
+// geometry and cell type are included for validation only — restoring always
+// targets a chip constructed from the same profile.
+type ChipSnapshot struct {
+	Geometry Geometry
+	Cell     CellType
+	Blocks   []BlockSnapshot
+	Stats    Stats
+	// CachedBlock/CachedPage are the per-plane page-register contents.
+	CachedBlock []int
+	CachedPage  []int
+	// Data holds page payloads; nil unless the chip stores data.
+	Data map[int64][]byte
+}
+
+// Snapshot captures the chip's complete mutable state. The snapshot shares
+// no memory with the chip.
+func (c *Chip) Snapshot() *ChipSnapshot {
+	s := &ChipSnapshot{
+		Geometry:    c.geo,
+		Cell:        c.cell,
+		Blocks:      make([]BlockSnapshot, len(c.blocks)),
+		Stats:       c.stats,
+		CachedBlock: append([]int(nil), c.cachedBlock...),
+		CachedPage:  append([]int(nil), c.cachedPage...),
+	}
+	for i, b := range c.blocks {
+		s.Blocks[i] = BlockSnapshot{
+			EraseCount: b.eraseCount,
+			NextPage:   b.nextPage,
+			Bad:        b.bad,
+			Pages:      append([]PageState(nil), b.pages...),
+		}
+	}
+	if c.storeData {
+		s.Data = make(map[int64][]byte, len(c.data))
+		for k, v := range c.data {
+			s.Data[k] = append([]byte(nil), v...)
+		}
+	}
+	return s
+}
+
+// Restore overwrites the chip's mutable state from a snapshot. The chip must
+// have been constructed with the snapshot's geometry, cell type and data-
+// storage setting (i.e. from the same profile); any mismatch is an error and
+// leaves the chip unchanged.
+func (c *Chip) Restore(s *ChipSnapshot) error {
+	switch {
+	case s == nil:
+		return fmt.Errorf("flash: nil chip snapshot")
+	case s.Geometry != c.geo:
+		return fmt.Errorf("flash: snapshot geometry %+v does not match chip %+v", s.Geometry, c.geo)
+	case s.Cell != c.cell:
+		return fmt.Errorf("flash: snapshot cell type %v does not match chip %v", s.Cell, c.cell)
+	case len(s.Blocks) != len(c.blocks):
+		return fmt.Errorf("flash: snapshot has %d blocks, chip %d", len(s.Blocks), len(c.blocks))
+	case len(s.CachedBlock) != c.geo.Planes || len(s.CachedPage) != c.geo.Planes:
+		return fmt.Errorf("flash: snapshot register state does not match %d planes", c.geo.Planes)
+	// gob decodes an empty map as nil, so a nil Data is valid for a
+	// data-storing chip with no payloads yet; only payloads a non-storing
+	// chip cannot hold are a mismatch.
+	case len(s.Data) > 0 && !c.storeData:
+		return fmt.Errorf("flash: snapshot carries payloads but the chip does not store data")
+	}
+	for i := range s.Blocks {
+		if len(s.Blocks[i].Pages) != c.geo.PagesPerBlock {
+			return fmt.Errorf("flash: snapshot block %d has %d pages, want %d", i, len(s.Blocks[i].Pages), c.geo.PagesPerBlock)
+		}
+	}
+	for i, b := range s.Blocks {
+		c.blocks[i] = blockState{
+			eraseCount: b.EraseCount,
+			nextPage:   b.NextPage,
+			bad:        b.Bad,
+			pages:      append([]PageState(nil), b.Pages...),
+		}
+	}
+	c.stats = s.Stats
+	copy(c.cachedBlock, s.CachedBlock)
+	copy(c.cachedPage, s.CachedPage)
+	if c.storeData {
+		c.data = make(map[int64][]byte, len(s.Data))
+		for k, v := range s.Data {
+			c.data[k] = append([]byte(nil), v...)
+		}
+	}
+	return nil
+}

@@ -36,6 +36,9 @@ func EnforceSequentialState(dev device.Device, seed int64) (time.Duration, error
 func enforceState(dev device.Device, seed int64, random bool) (time.Duration, error) {
 	const blockSize = 128 * 1024
 	capacity := dev.Capacity()
+	if capacity <= 0 {
+		return 0, fmt.Errorf("methodology: state enforcement: device %s has no capacity", dev.Name())
+	}
 	rng := rand.New(rand.NewSource(seed))
 	var t time.Duration
 	var written int64
@@ -44,12 +47,31 @@ func enforceState(dev device.Device, seed int64, random bool) (time.Duration, er
 		var io device.IO
 		if random {
 			size := (rng.Int63n(blockSize/512) + 1) * 512
-			slot := rng.Int63n((capacity - size) / 512)
+			// Devices smaller than the drawn IO (or smaller than one flash
+			// block) get the IO clamped to their capacity; without the clamp
+			// the slot bound below would be non-positive and Int63n panics.
+			if size > capacity {
+				size = capacity
+			}
+			var slot int64
+			if maxSlots := (capacity - size) / 512; maxSlots > 0 {
+				slot = rng.Int63n(maxSlots)
+			}
 			io = device.IO{Mode: device.Write, Off: slot * 512, Size: size}
 		} else {
 			size := int64(blockSize)
-			if off+size > capacity {
-				size = capacity - off
+			if remaining := capacity - off; size > remaining {
+				// Align the tail IO down to the 512 B sector so unaligned
+				// capacities never produce sub-sector IOs; the sub-sector
+				// remainder is unreachable at this addressing granularity
+				// and is skipped deterministically.
+				size = remaining &^ 511
+				if size == 0 {
+					if off > 0 {
+						break
+					}
+					size = remaining // device smaller than one sector
+				}
 			}
 			io = device.IO{Mode: device.Write, Off: off, Size: size}
 			off += size

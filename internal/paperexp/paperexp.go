@@ -17,6 +17,7 @@ import (
 	"uflip/internal/methodology"
 	"uflip/internal/profile"
 	"uflip/internal/report"
+	"uflip/internal/statestore"
 	"uflip/internal/stats"
 )
 
@@ -34,6 +35,11 @@ type Config struct {
 	IOCount int
 	// Pause is the pause inserted between runs (Section 4.3).
 	Pause time.Duration
+	// Store, when non-nil, persists enforced device states: Prepare and
+	// the engine masters load the (spec, capacity, seed) state from disk
+	// on a cache hit instead of replaying the enforcement IOs, and save it
+	// after enforcing on a miss. Results are byte-identical either way.
+	Store *statestore.Store
 }
 
 // DefaultConfig returns the scale used throughout the repository's
@@ -70,15 +76,70 @@ func Prepare(key string, cfg Config) (device.Device, time.Duration, error) {
 // prepareSim is Prepare returning the cloneable simulated device — the
 // snapshot the engine master hands out per shard.
 func prepareSim(key string, cfg Config) (device.Cloneable, time.Duration, error) {
-	dev, err := profile.BuildDevice(key, cfg.Capacity)
-	if err != nil {
-		return nil, 0, err
-	}
-	end, err := methodology.EnforceRandomState(dev, cfg.Seed)
+	dev, end, _, err := PrepareCached(key, cfg)
 	if err != nil {
 		return nil, 0, err
 	}
 	return dev, end + cfg.Pause, nil
+}
+
+// StateKey returns the state-store key of a device spec under cfg: the spec
+// canonicalized (array expressions through ParseArraySpec.String, so
+// equivalent spellings share one cache entry), the per-member capacity, the
+// enforcement seed and the enforcement kind.
+func StateKey(key string, cfg Config) statestore.Key {
+	canonical := key
+	if profile.IsArraySpec(key) {
+		if s, err := profile.ParseArraySpec(key); err == nil {
+			canonical = s.String()
+		}
+	}
+	return statestore.Key{Spec: canonical, Capacity: cfg.Capacity, Seed: cfg.Seed, Enforce: "random"}
+}
+
+// PrepareCached builds the device and brings it to the enforced random state
+// (Section 4.1), returning the device, the virtual time enforcement finished
+// (without cfg.Pause added) and whether the state came from cfg.Store. With
+// no store configured it always enforces live (hit=false). With a store, a
+// hit restores the persisted state — byte-identical to enforcing — and a
+// miss enforces live and saves. The load-or-enforce window holds the store's
+// per-key lock, so concurrent jobs that race on one key enforce it once.
+func PrepareCached(key string, cfg Config) (device.Cloneable, time.Duration, bool, error) {
+	dev, err := profile.BuildDevice(key, cfg.Capacity)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	at, hit, err := enforceCached(dev, key, cfg)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return dev, at, hit, nil
+}
+
+// enforceCached brings an already-built device to the enforced random state,
+// loading it from cfg.Store on a hit and enforcing live (and saving) on a
+// miss or with no store.
+func enforceCached(dev device.Cloneable, key string, cfg Config) (time.Duration, bool, error) {
+	if cfg.Store == nil {
+		end, err := methodology.EnforceRandomState(dev, cfg.Seed)
+		return end, false, err
+	}
+	sk := StateKey(key, cfg)
+	unlock := cfg.Store.LockKey(sk)
+	defer unlock()
+	if at, hit, err := cfg.Store.Load(sk, dev); err != nil {
+		return 0, false, err
+	} else if hit {
+		return at, true, nil
+	}
+	end, err := methodology.EnforceRandomState(dev, cfg.Seed)
+	if err != nil {
+		return 0, false, err
+	}
+	if err := cfg.Store.Save(sk, dev, end); err != nil {
+		return 0, false, err
+	}
+	return end, false, nil
 }
 
 // Master returns an engine master over the profile: the device is built and

@@ -1,0 +1,38 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"uflip/internal/core"
+	"uflip/internal/methodology"
+)
+
+// PlanSection renders the standard benchmark report for a completed plan:
+// one summary table per micro-benchmark, then the device's key
+// characteristics (its Table 3 row). The uflip CLI and the experiment
+// server both render through it, so their reports are byte-identical for
+// identical results.
+func PlanSection(w io.Writer, micros []core.Microbenchmark, res *methodology.Results, ioSize int64) error {
+	for _, mb := range micros {
+		t := &Table{
+			Title:   mb.Name + " (" + mb.Description + ")",
+			Headers: []string{"experiment", "mean(ms)", "min(ms)", "max(ms)", "sd(ms)"},
+		}
+		for _, r := range res.Results {
+			if r.Exp.Micro != mb.Name {
+				continue
+			}
+			s := r.Run.Summary
+			t.AddRow(r.Exp.ID(), s.Mean*1e3, s.Min*1e3, s.Max*1e3, s.StdDev*1e3)
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	char := Characterize(res, ioSize)
+	return CharacterTable([]DeviceCharacter{char}).Render(w)
+}

@@ -1,0 +1,762 @@
+// Package server is the uFLIP experiment daemon behind `uflip serve`: a
+// long-running HTTP service with a bounded job queue that accepts plan,
+// workload and array-sweep requests (JSON in), runs them through the
+// existing engine at configurable parallelism with per-job cancellation,
+// and serves the results back as JSON, CSV and human-readable reports.
+//
+// Every job routes through the same pipeline the CLI uses
+// (paperexp.RunBenchmark, workload.ReplayParallel, paperexp.ArraySweep), so
+// a job's results are byte-identical to the equivalent CLI invocation. All
+// jobs share one persistent state store (when configured): the first job
+// needing a (device, capacity, seed) state enforces and saves it, every
+// later job — concurrent or in a later process — loads it from disk and
+// skips the fill.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"uflip/internal/core"
+	"uflip/internal/device"
+	"uflip/internal/paperexp"
+	"uflip/internal/profile"
+	"uflip/internal/report"
+	"uflip/internal/statestore"
+	"uflip/internal/trace"
+	"uflip/internal/workload"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// StateDir is the persistent state-store directory shared by all jobs;
+	// empty disables the store (every job enforces live).
+	StateDir string
+	// QueueSize bounds jobs waiting to run; submissions beyond it are
+	// rejected with 503 (<= 0: 64).
+	QueueSize int
+	// Workers is the number of jobs executed concurrently (<= 0: 2). Each
+	// job additionally parallelizes internally over its own engine pool.
+	Workers int
+	// DefaultParallel is the per-job engine worker count used when a
+	// request does not set one (<= 0: GOMAXPROCS).
+	DefaultParallel int
+	// KeepJobs bounds the finished (done/failed/canceled) jobs retained in
+	// memory — results included — so a long-running daemon does not grow
+	// without bound; the oldest finished jobs are evicted first (<= 0: 256).
+	KeepJobs int
+}
+
+func (c Config) queueSize() int {
+	if c.QueueSize <= 0 {
+		return 64
+	}
+	return c.QueueSize
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return 2
+	}
+	return c.Workers
+}
+
+func (c Config) defaultParallel() int {
+	if c.DefaultParallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.DefaultParallel
+}
+
+func (c Config) keepJobs() int {
+	if c.KeepJobs <= 0 {
+		return 256
+	}
+	return c.KeepJobs
+}
+
+// JobRequest is the JSON body of a job submission.
+type JobRequest struct {
+	// Kind selects the experiment: "plan" (the micro-benchmark plan),
+	// "workload" (synthetic workload replay) or "array" (the composite
+	// array scenario sweep).
+	Kind string `json:"kind"`
+	// Device is the profile key or array spec (plan and workload kinds).
+	Device string `json:"device,omitempty"`
+	// Capacity is the simulated capacity in bytes, per member for array
+	// specs (0 = 1 GiB, the CLI default).
+	Capacity int64 `json:"capacity,omitempty"`
+	// Seed is the random seed (0 = 42, the CLI default).
+	Seed int64 `json:"seed,omitempty"`
+	// IOCount is the base run length for plan and array kinds (0 = 1024).
+	IOCount int `json:"iocount,omitempty"`
+	// Micros selects micro-benchmarks for the plan kind (empty = all nine).
+	Micros []string `json:"micros,omitempty"`
+	// Parallel is the per-job engine worker count (0 = server default).
+	// Results are byte-identical for any value.
+	Parallel int `json:"parallel,omitempty"`
+	// Workload parameterizes the workload kind.
+	Workload *WorkloadRequest `json:"workload,omitempty"`
+	// Array parameterizes the array kind.
+	Array *ArrayRequest `json:"array,omitempty"`
+}
+
+// WorkloadRequest parameterizes a workload job: the synthetic generator
+// spec plus replay segmentation. The job's top-level seed drives both the
+// stream generation and the device state, exactly as the CLI does. Fields
+// omitted from the JSON take the CLI flag defaults (read_fraction 0.7,
+// streams 4, zipf_s 1.2, ops 2048, burst gap 100 ms, segment 512, ...) so
+// the minimal request runs the same workload as the minimal CLI invocation;
+// explicitly provided values — zeros included — are honored.
+type WorkloadRequest struct {
+	workload.Spec
+	// SegmentOps is the replay segmentation; it defines the shards, so
+	// keep it fixed across runs meant to compare.
+	SegmentOps int `json:"segment_ops,omitempty"`
+	// WindowOps sizes the windowed summaries.
+	WindowOps int `json:"window_ops,omitempty"`
+}
+
+// UnmarshalJSON seeds the CLI flag defaults before decoding, so an omitted
+// field means "the CLI default" while an explicit zero stays expressible.
+func (wr *WorkloadRequest) UnmarshalJSON(b []byte) error {
+	type plain WorkloadRequest
+	tmp := plain{
+		Spec: workload.Spec{
+			Count:        2048,
+			PageSize:     8 * 1024,
+			IOSize:       32 * 1024,
+			ReadFraction: 0.7,
+			ZipfS:        1.2,
+			Streams:      4,
+			BurstOps:     32,
+			BurstGap:     100 * time.Millisecond,
+		},
+		SegmentOps: 512,
+		WindowOps:  256,
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tmp); err != nil {
+		return err
+	}
+	*wr = WorkloadRequest(tmp)
+	return nil
+}
+
+// ArrayRequest parameterizes an array-sweep job.
+type ArrayRequest struct {
+	Member      string   `json:"member"`
+	Layouts     []string `json:"layouts,omitempty"`
+	Counts      []int    `json:"counts,omitempty"`
+	QueueDepths []int    `json:"queue_depths,omitempty"`
+	ChunkBytes  int64    `json:"chunk_bytes,omitempty"`
+	Degree      int      `json:"degree,omitempty"`
+}
+
+// Job statuses.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// JobStatus is the JSON view of a job.
+type JobStatus struct {
+	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
+	Device    string    `json:"device,omitempty"`
+	Status    string    `json:"status"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+	// Runs is the number of result records (plan/workload) or grid rows
+	// (array) once the job is done.
+	Runs int `json:"runs,omitempty"`
+}
+
+type job struct {
+	id  string
+	req JobRequest
+
+	status    string
+	errText   string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
+
+	records []trace.RunRecord // plan and workload results
+	rows    []report.ArrayRow // array results
+	report  []byte            // human-readable report
+}
+
+// Server is the experiment daemon. Create with New, expose via Handler,
+// stop with Close.
+type Server struct {
+	cfg   Config
+	store *statestore.Store
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu     sync.Mutex
+	cond   *sync.Cond // signals workers that pending grew (or closed)
+	jobs   map[string]*job
+	order  []string
+	nextID int
+	closed bool
+
+	// pending is the bounded submission queue, guarded by mu. A slice (not
+	// a channel) so canceling a queued job frees its slot immediately.
+	pending []*job
+	wg      sync.WaitGroup
+}
+
+// New builds the daemon and starts its job workers.
+func New(cfg Config) (*Server, error) {
+	var store *statestore.Store
+	if cfg.StateDir != "" {
+		var err error
+		if store, err = statestore.Open(cfg.StateDir); err != nil {
+			return nil, err
+		}
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		baseCtx: ctx,
+		stop:    stop,
+		jobs:    make(map[string]*job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.workers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		for len(s.pending) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		s.mu.Unlock()
+		s.runJob(j)
+		s.mu.Lock()
+	}
+}
+
+// Close rejects new submissions, cancels queued and running jobs and waits
+// for the workers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	now := time.Now()
+	for _, j := range s.pending {
+		j.status = StatusCanceled
+		j.finished = now
+	}
+	s.pending = nil
+	s.mu.Unlock()
+	s.stop()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+// Handler returns the HTTP API:
+//
+//	GET    /healthz          liveness + queue counters
+//	POST   /jobs             submit a job (JobRequest JSON)
+//	GET    /jobs             list jobs
+//	GET    /jobs/{id}        job status
+//	DELETE /jobs/{id}        cancel a job
+//	GET    /jobs/{id}/result results as JSON (records or grid rows)
+//	GET    /jobs/{id}/csv    summary CSV (identical to the CLI's -out file)
+//	GET    /jobs/{id}/report human-readable report
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/csv", s.handleCSV)
+	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	counts := map[string]int{}
+	for _, j := range s.jobs {
+		counts[j.status]++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"jobs":       counts,
+		"queue_size": s.cfg.queueSize(),
+		"workers":    s.cfg.workers(),
+		"state_dir":  s.cfg.StateDir,
+	})
+}
+
+// validate normalizes a request, applying the CLI-equivalent defaults.
+func validate(req *JobRequest) error {
+	if req.Capacity == 0 {
+		req.Capacity = 1 << 30
+	}
+	if req.Capacity < 0 {
+		return fmt.Errorf("capacity must be positive")
+	}
+	if req.Seed == 0 {
+		req.Seed = 42
+	}
+	switch req.Kind {
+	case "plan":
+		if req.Device == "" {
+			return fmt.Errorf("plan jobs need a device")
+		}
+		if _, err := profile.DescribeDevice(req.Device); err != nil {
+			return err
+		}
+		// Resolve micro names now: a typo must be a 400 at submission, not
+		// a failed job after the expensive state enforcement already ran.
+		if _, err := paperexp.SelectMicros(req.Micros, core.StandardDefaults(), req.Capacity); err != nil {
+			return err
+		}
+	case "workload":
+		if req.Device == "" {
+			return fmt.Errorf("workload jobs need a device")
+		}
+		if _, err := profile.DescribeDevice(req.Device); err != nil {
+			return err
+		}
+		if req.Workload == nil {
+			return fmt.Errorf("workload jobs need a workload spec")
+		}
+		// Normalize in place so validation and execution build the exact
+		// same spec: the job seed drives the stream and the target defaults
+		// to half the capacity, as the CLI derives it. The other CLI-flag
+		// defaults were seeded by WorkloadRequest.UnmarshalJSON.
+		req.Workload.Seed = req.Seed
+		if req.Workload.TargetSize == 0 {
+			req.Workload.TargetSize = req.Capacity / 2
+		}
+		if req.Workload.Count <= 0 {
+			return fmt.Errorf("workload jobs need a positive op count")
+		}
+		if _, err := req.Workload.Spec.Build(); err != nil {
+			return err
+		}
+	case "array":
+		if req.Array == nil || req.Array.Member == "" {
+			return fmt.Errorf("array jobs need an array.member profile")
+		}
+		if _, err := profile.ByKey(req.Array.Member); err != nil {
+			return err
+		}
+		for _, l := range req.Array.Layouts {
+			if _, err := device.ParseLayout(l); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q (want plan, workload or array)", req.Kind)
+	}
+	return nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := validate(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job: %v", err)
+		return
+	}
+	// Closed check, queue bound and registration happen under one lock, so
+	// a rejected submission never leaves a dangling jobs/order entry.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if len(s.pending) >= s.cfg.queueSize() {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "job queue is full (%d queued)", s.cfg.queueSize())
+		return
+	}
+	s.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j-%06d", s.nextID),
+		req:       req,
+		status:    StatusQueued,
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pending = append(s.pending, j)
+	st := s.statusOfLocked(j)
+	s.mu.Unlock()
+	s.cond.Signal()
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) statusOf(j *job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusOfLocked(j)
+}
+
+func (s *Server) statusOfLocked(j *job) JobStatus {
+	runs := len(j.records)
+	if j.req.Kind == "array" {
+		runs = len(j.rows)
+	}
+	return JobStatus{
+		ID:        j.id,
+		Kind:      j.req.Kind,
+		Device:    j.req.Device,
+		Status:    j.status,
+		Error:     j.errText,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Runs:      runs,
+	}
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusOfLocked(s.jobs[id]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, s.statusOf(j))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCanceled
+		j.finished = time.Now()
+		// Free the queue slot immediately: later submissions must not be
+		// rejected on account of jobs that will never run.
+		for i, p := range s.pending {
+			if p == j {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				break
+			}
+		}
+		s.evictLocked()
+	case StatusRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	st := s.statusOfLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// finished returns the job if it completed successfully, writing the
+// appropriate error response otherwise.
+func (s *Server) finished(w http.ResponseWriter, r *http.Request) *job {
+	j := s.lookup(w, r)
+	if j == nil {
+		return nil
+	}
+	s.mu.Lock()
+	status, errText := j.status, j.errText
+	s.mu.Unlock()
+	switch status {
+	case StatusDone:
+		return j
+	case StatusFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", errText)
+	case StatusCanceled:
+		writeError(w, http.StatusGone, "job was canceled")
+	default:
+		writeError(w, http.StatusConflict, "job is %s; results are not ready", status)
+	}
+	return nil
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.finished(w, r)
+	if j == nil {
+		return
+	}
+	if j.req.Kind == "array" {
+		writeJSON(w, http.StatusOK, j.rows)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.records)
+}
+
+func (s *Server) handleCSV(w http.ResponseWriter, r *http.Request) {
+	j := s.finished(w, r)
+	if j == nil {
+		return
+	}
+	if j.req.Kind == "array" {
+		writeError(w, http.StatusNotFound, "array jobs have no CSV; fetch /result or /report")
+		return
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteSummaryCSV(&buf, j.records); err != nil {
+		writeError(w, http.StatusInternalServerError, "render csv: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j := s.finished(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(j.report)
+}
+
+// runJob executes one job on a worker goroutine.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.status != StatusQueued {
+		s.mu.Unlock()
+		return // canceled while queued
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	err := s.execute(ctx, j)
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.status = StatusDone
+	case ctx.Err() != nil && s.baseCtx.Err() == nil:
+		j.status = StatusCanceled
+		j.errText = err.Error()
+	default:
+		j.status = StatusFailed
+		j.errText = err.Error()
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention bound —
+// result records included — so a long-running daemon's memory stays bounded.
+// Queued and running jobs are never evicted. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	finished := 0
+	for _, j := range s.jobs {
+		switch j.status {
+		case StatusDone, StatusFailed, StatusCanceled:
+			finished++
+		}
+	}
+	keep := s.cfg.keepJobs()
+	for i := 0; finished > keep && i < len(s.order); {
+		j := s.jobs[s.order[i]]
+		switch j.status {
+		case StatusDone, StatusFailed, StatusCanceled:
+			delete(s.jobs, j.id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			finished--
+		default:
+			i++
+		}
+	}
+}
+
+func (s *Server) parallel(req JobRequest) int {
+	if req.Parallel > 0 {
+		return req.Parallel
+	}
+	return s.cfg.defaultParallel()
+}
+
+// execute dispatches by kind; results land in the job under the server lock.
+func (s *Server) execute(ctx context.Context, j *job) error {
+	switch j.req.Kind {
+	case "plan":
+		return s.executePlan(ctx, j)
+	case "workload":
+		return s.executeWorkload(ctx, j)
+	case "array":
+		return s.executeArray(ctx, j)
+	default:
+		return fmt.Errorf("unknown job kind %q", j.req.Kind)
+	}
+}
+
+func (s *Server) executePlan(ctx context.Context, j *job) error {
+	req := j.req
+	cfg := paperexp.Config{Capacity: req.Capacity, Seed: req.Seed, IOCount: req.IOCount, Store: s.store}
+	out, err := paperexp.RunBenchmark(ctx, req.Device, cfg, paperexp.BenchmarkRequest{
+		Micros:  req.Micros,
+		Workers: s.parallel(req),
+	})
+	if err != nil {
+		return err
+	}
+	var rep bytes.Buffer
+	if err := report.PlanSection(&rep, out.Micros, out.Results, core.StandardDefaults().IOSize); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	j.records = paperexp.Records(out.Results)
+	j.report = rep.Bytes()
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) executeWorkload(ctx context.Context, j *job) error {
+	req := j.req // normalized by validate at submission
+	gen, err := req.Workload.Spec.Build()
+	if err != nil {
+		return err
+	}
+	factory := paperexp.ShardFactory(req.Device, paperexp.Config{
+		Capacity: req.Capacity,
+		Seed:     req.Seed,
+		Pause:    time.Second,
+		Store:    s.store,
+	})
+	res, err := workload.Generate(ctx, gen, factory, workload.Options{
+		SegmentOps: req.Workload.SegmentOps,
+		Workers:    s.parallel(req),
+		Seed:       req.Seed,
+		WindowOps:  req.Workload.WindowOps,
+	})
+	if err != nil {
+		return err
+	}
+	var rep bytes.Buffer
+	if err := report.WorkloadSection(&rep, res); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	j.records = paperexp.WorkloadRecords(res)
+	j.report = rep.Bytes()
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) executeArray(ctx context.Context, j *job) error {
+	req := j.req
+	ar := req.Array
+	ac := paperexp.ArrayConfig{
+		Member:      ar.Member,
+		Counts:      ar.Counts,
+		QueueDepths: ar.QueueDepths,
+		ChunkBytes:  ar.ChunkBytes,
+		Degree:      ar.Degree,
+		Workers:     s.parallel(req),
+	}
+	for _, l := range ar.Layouts {
+		layout, err := device.ParseLayout(l)
+		if err != nil {
+			return err
+		}
+		ac.Layouts = append(ac.Layouts, layout)
+	}
+	iocount := req.IOCount
+	if iocount <= 0 {
+		iocount = 1024
+	}
+	cfg := paperexp.Config{
+		Capacity: req.Capacity,
+		Seed:     req.Seed,
+		IOCount:  iocount,
+		Pause:    paperexp.DefaultConfig().Pause,
+		Store:    s.store,
+	}
+	rows, err := paperexp.ArraySweep(ctx, cfg, ac, nil)
+	if err != nil {
+		return err
+	}
+	var rep bytes.Buffer
+	if err := report.ArraySection(&rep, rows); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	j.rows = rows
+	j.report = rep.Bytes()
+	s.mu.Unlock()
+	return nil
+}

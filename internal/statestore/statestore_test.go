@@ -1,0 +1,236 @@
+package statestore_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"uflip/internal/device"
+	"uflip/internal/methodology"
+	"uflip/internal/profile"
+	"uflip/internal/statestore"
+)
+
+const testCapacity = 8 << 20
+
+func enforcedDevice(t *testing.T, spec string) (device.Cloneable, time.Duration) {
+	t.Helper()
+	dev, err := profile.BuildDevice(spec, testCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := methodology.EnforceRandomState(dev, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, at
+}
+
+func key(spec string) statestore.Key {
+	return statestore.Key{Spec: spec, Capacity: testCapacity, Seed: 42, Enforce: "random"}
+}
+
+// driveBoth submits an identical deterministic IO mix to both devices and
+// fails on the first diverging completion time — the strictest equivalence
+// the device interface can express.
+func driveBoth(t *testing.T, a, b device.Device, seed int64) {
+	t.Helper()
+	if a.Capacity() != b.Capacity() {
+		t.Fatalf("capacities differ: %d vs %d", a.Capacity(), b.Capacity())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var at time.Duration
+	for i := 0; i < 400; i++ {
+		size := (rng.Int63n(64) + 1) * 512
+		off := rng.Int63n((a.Capacity()-size)/512) * 512
+		mode := device.Read
+		if rng.Intn(2) == 0 {
+			mode = device.Write
+		}
+		io := device.IO{Mode: mode, Off: off, Size: size}
+		da, ea := a.Submit(at, io)
+		db, eb := b.Submit(at, io)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("io %d: error mismatch: %v vs %v", i, ea, eb)
+		}
+		if da != db {
+			t.Fatalf("io %d (%s off=%d size=%d): completion %v vs %v", i, mode, off, size, da, db)
+		}
+		at = da + time.Duration(rng.Intn(5))*time.Millisecond
+	}
+}
+
+// TestSaveLoadRoundTrip covers every translation design in the profile set
+// plus a composite array: a loaded state must be indistinguishable from the
+// live enforced device under any subsequent IO sequence.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	specs := []string{
+		"memoright",       // page FTL + RAM write cache, write-back
+		"samsung",         // page FTL + flash-backed log zone
+		"kingston-dti",    // block FTL, no cache
+		"transcend-mlc32", // block FTL + flash-backed cache
+		"stripe(2,mtron,mtron)",
+		"mirror(2,kingston-dti,kingston-dti)",
+	}
+	for _, spec := range specs {
+		t.Run(spec, func(t *testing.T) {
+			store, err := statestore.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			live, at := enforcedDevice(t, spec)
+			if err := store.Save(key(spec), live, at); err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := profile.BuildDevice(spec, testCapacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotAt, hit, err := store.Load(key(spec), fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hit {
+				t.Fatal("saved state not found")
+			}
+			if gotAt != at {
+				t.Fatalf("loaded at=%v, want %v", gotAt, at)
+			}
+			driveBoth(t, live, fresh, 7)
+		})
+	}
+}
+
+func TestLoadMissIsNotAnError(t *testing.T) {
+	store, err := statestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := profile.BuildDevice("mtron", testCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, hit, err := store.Load(key("mtron"), dev)
+	if err != nil || hit || at != 0 {
+		t.Fatalf("miss: got at=%v hit=%v err=%v, want 0/false/nil", at, hit, err)
+	}
+	if store.Contains(key("mtron")) {
+		t.Fatal("Contains reported a file that does not exist")
+	}
+}
+
+func TestKeyHashSeparatesConfigurations(t *testing.T) {
+	base := key("mtron")
+	variants := []statestore.Key{
+		{Spec: "samsung", Capacity: base.Capacity, Seed: base.Seed, Enforce: base.Enforce},
+		{Spec: base.Spec, Capacity: base.Capacity * 2, Seed: base.Seed, Enforce: base.Enforce},
+		{Spec: base.Spec, Capacity: base.Capacity, Seed: base.Seed + 1, Enforce: base.Enforce},
+		{Spec: base.Spec, Capacity: base.Capacity, Seed: base.Seed, Enforce: "sequential"},
+	}
+	for _, v := range variants {
+		if v.Hash() == base.Hash() {
+			t.Fatalf("key %v collides with %v", v, base)
+		}
+	}
+}
+
+// TestCorruptedFilesFailLoudly pins the store's central safety property: a
+// damaged state file is an error on load — never a silent mis-load, never a
+// silent cache miss.
+func TestCorruptedFilesFailLoudly(t *testing.T) {
+	dir := t.TempDir()
+	store, err := statestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, at := enforcedDevice(t, "kingston-dti")
+	k := key("kingston-dti")
+	if err := store.Save(k, live, at); err != nil {
+		t.Fatal(err)
+	}
+	path := store.Path(k)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshLoad := func() error {
+		dev, err := profile.BuildDevice("kingston-dti", testCapacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = store.Load(k, dev)
+		return err
+	}
+	if err := freshLoad(); err != nil {
+		t.Fatalf("pristine file failed to load: %v", err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, mutate(append([]byte(nil), pristine...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			defer os.WriteFile(path, pristine, 0o644)
+			if err := freshLoad(); err == nil {
+				t.Fatal("corrupted state file loaded without error")
+			}
+		})
+	}
+	corrupt("truncated header", func(b []byte) []byte { return b[:10] })
+	corrupt("truncated payload", func(b []byte) []byte { return b[:len(b)/2] })
+	corrupt("empty file", func(b []byte) []byte { return nil })
+	corrupt("bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	corrupt("bad version", func(b []byte) []byte { b[8] ^= 0xFF; return b })
+	corrupt("flipped payload byte", func(b []byte) []byte { b[len(b)-7] ^= 0x10; return b })
+	corrupt("trailing garbage", func(b []byte) []byte { return append(b, 0xAB) })
+
+	t.Run("foreign key file", func(t *testing.T) {
+		other := key("mtron")
+		if err := os.WriteFile(store.Path(other), pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dev, err := profile.BuildDevice("mtron", testCapacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := store.Load(other, dev); err == nil {
+			t.Fatal("state saved for one key loaded under another")
+		}
+	})
+
+	t.Run("no temp files left behind", func(t *testing.T) {
+		matches, err := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) != 0 {
+			t.Fatalf("temp files left behind: %v", matches)
+		}
+	})
+}
+
+// TestRestoreIntoWrongDeviceFails: a valid file must refuse to restore into
+// a structurally different device.
+func TestRestoreIntoWrongDeviceFails(t *testing.T) {
+	store, err := statestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, at := enforcedDevice(t, "memoright")
+	k := key("memoright")
+	if err := store.Save(k, live, at); err != nil {
+		t.Fatal(err)
+	}
+	// Same key, but the caller hands a device built from another profile:
+	// the snapshot shape (page FTL + cache over a different array) must not
+	// silently restore.
+	wrong, err := profile.BuildDevice("kingston-dti", testCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Load(k, wrong); err == nil {
+		t.Fatal("page-FTL state restored into a block-FTL device")
+	}
+}

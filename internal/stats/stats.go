@@ -47,29 +47,47 @@ func (r *Running) AddDuration(d time.Duration) { r.Add(d.Seconds()) }
 // N returns the number of observations.
 func (r *Running) N() int64 { return r.n }
 
-// Mean returns the sample mean, or 0 if empty.
+// Mean returns the sample mean. An empty accumulator returns 0 — callers
+// that must distinguish "no samples" from "mean of zero" check N first.
 func (r *Running) Mean() float64 { return r.mean }
 
-// Min returns the smallest observation, or 0 if empty.
+// Min returns the smallest observation. An empty accumulator returns 0, not
+// +Inf: the zero value is the documented "no samples" result, so negative
+// observations are only reported once at least one sample exists.
 func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return 0
+	}
 	return r.min
 }
 
-// Max returns the largest observation, or 0 if empty.
+// Max returns the largest observation, or 0 for an empty accumulator (see
+// Min for the zero-value contract).
 func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return 0
+	}
 	return r.max
 }
 
-// Variance returns the sample variance (n-1 denominator), or 0 for fewer
-// than two observations.
+// Variance returns the sample variance (n-1 denominator). Fewer than two
+// observations return 0: one sample has no spread to estimate, and the
+// n-1 denominator would otherwise divide by zero.
 func (r *Running) Variance() float64 {
 	if r.n < 2 {
+		return 0
+	}
+	// Welford's m2 is non-negative in exact arithmetic, but floating-point
+	// cancellation can drive it a hair below zero on near-constant inputs;
+	// clamp so StdDev never returns NaN.
+	if r.m2 < 0 {
 		return 0
 	}
 	return r.m2 / float64(r.n-1)
 }
 
-// StdDev returns the sample standard deviation.
+// StdDev returns the sample standard deviation, with the same n < 2 and
+// zero-value guarantees as Variance (never NaN).
 func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
 
 // Merge folds other into r, as if all of other's observations had been added

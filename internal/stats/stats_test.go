@@ -299,3 +299,94 @@ func TestAnalyzePhasesRandomizedNeverPanics(t *testing.T) {
 		}
 	}
 }
+
+func TestRunningEdgeCases(t *testing.T) {
+	// The documented zero-value contract: empty accumulators return 0
+	// everywhere, single samples have zero spread, and StdDev is never NaN.
+	cases := []struct {
+		name    string
+		samples []float64
+		min     float64
+		max     float64
+		mean    float64
+		vari    float64
+	}{
+		{name: "empty", samples: nil},
+		{name: "single", samples: []float64{3.5}, min: 3.5, max: 3.5, mean: 3.5},
+		{name: "single negative", samples: []float64{-2}, min: -2, max: -2, mean: -2},
+		{name: "single zero", samples: []float64{0}},
+		{name: "pair", samples: []float64{1, 3}, min: 1, max: 3, mean: 2, vari: 2},
+		{name: "constant", samples: []float64{5, 5, 5}, min: 5, max: 5, mean: 5},
+		{name: "negative range", samples: []float64{-4, -1}, min: -4, max: -1, mean: -2.5, vari: 4.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var r Running
+			for _, x := range tc.samples {
+				r.Add(x)
+			}
+			if got := r.N(); got != int64(len(tc.samples)) {
+				t.Fatalf("N = %d, want %d", got, len(tc.samples))
+			}
+			if r.Min() != tc.min || r.Max() != tc.max {
+				t.Fatalf("min/max = %v/%v, want %v/%v", r.Min(), r.Max(), tc.min, tc.max)
+			}
+			if !almostEqual(r.Mean(), tc.mean, 1e-12) {
+				t.Fatalf("mean = %v, want %v", r.Mean(), tc.mean)
+			}
+			if !almostEqual(r.Variance(), tc.vari, 1e-12) {
+				t.Fatalf("variance = %v, want %v", r.Variance(), tc.vari)
+			}
+			if sd := r.StdDev(); math.IsNaN(sd) || sd < 0 {
+				t.Fatalf("stddev = %v", sd)
+			}
+		})
+	}
+}
+
+func TestRunningVarianceNeverNegativeOrNaN(t *testing.T) {
+	// Near-constant large values provoke floating-point cancellation in
+	// Welford's m2; the clamp keeps Variance >= 0 and StdDev finite.
+	var r Running
+	for i := 0; i < 1000; i++ {
+		r.Add(1e15 + float64(i%2)*1e-3)
+	}
+	if v := r.Variance(); v < 0 || math.IsNaN(v) {
+		t.Fatalf("variance = %v", v)
+	}
+	if sd := r.StdDev(); math.IsNaN(sd) || sd < 0 {
+		t.Fatalf("stddev = %v", sd)
+	}
+}
+
+func TestRunningMergeEdgeCases(t *testing.T) {
+	// empty <- empty stays empty.
+	var a, b Running
+	a.Merge(b)
+	if a.N() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatalf("empty merge changed the accumulator: %+v", a.Summary())
+	}
+	// empty <- populated copies; populated <- empty is a no-op.
+	b.Add(-1)
+	b.Add(4)
+	a.Merge(b)
+	if a.Summary() != b.Summary() {
+		t.Fatalf("merge into empty: got %+v, want %+v", a.Summary(), b.Summary())
+	}
+	var empty Running
+	before := a.Summary()
+	a.Merge(empty)
+	if a.Summary() != before {
+		t.Fatalf("merge of empty changed the accumulator: %+v", a.Summary())
+	}
+	// single <- single equals the two-sample stream.
+	var s1, s2, both Running
+	s1.Add(2)
+	s2.Add(8)
+	both.Add(2)
+	both.Add(8)
+	s1.Merge(s2)
+	if s1.Summary() != both.Summary() {
+		t.Fatalf("merged singles %+v != direct %+v", s1.Summary(), both.Summary())
+	}
+}
