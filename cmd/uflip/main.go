@@ -24,6 +24,15 @@
 //	uflip workload -device memoright -kind oltp -ops 4096
 //	uflip workload -device memoright -trace mytrace.csv -parallel 8
 //	uflip array -member mtron -counts 1,2,4 -layouts stripe,mirror
+//
+// The serve subcommand runs the experiment daemon (versioned /v1 HTTP API
+// with streaming progress, durable jobs and per-tenant quotas), and the
+// submit subcommand runs any of the above on a remote daemon with identical
+// results:
+//
+//	uflip serve -statedir /var/lib/uflip/state -jobdir /var/lib/uflip/jobs
+//	uflip submit -device memoright -out results/
+//	uflip submit workload -device memoright -trace mytrace.csv
 package main
 
 import (
@@ -57,6 +66,8 @@ func main() {
 		err = runArray(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "serve":
 		err = runServe(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "submit":
+		err = runSubmit(os.Args[2:])
 	default:
 		err = run()
 	}

@@ -25,10 +25,15 @@ func runServe(args []string) error {
 	var (
 		addr     = fs.String("addr", "127.0.0.1:8077", "listen address")
 		stateDir = fs.String("statedir", "", "persistent state-store directory shared by all jobs (empty = enforce live per master)")
+		jobDir   = fs.String("jobdir", "", "durable-job directory: submissions, finished results and uploaded traces persist there and survive restarts (empty = in-memory only)")
 		queue    = fs.Int("queue", 64, "maximum queued jobs; submissions beyond it are rejected with 503")
 		jobs     = fs.Int("jobs", 2, "jobs executed concurrently")
-		keep     = fs.Int("keep", 256, "finished jobs retained in memory (oldest evicted first)")
+		keep     = fs.Int("keep", 256, "finished jobs retained (oldest evicted first, from memory and -jobdir)")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "default engine workers per job (requests may override; results are identical for any value)")
+		rate     = fs.Float64("rate", 0, "per-tenant submission rate limit in jobs/second, keyed by X-API-Key (0 = unlimited)")
+		burst    = fs.Int("burst", 0, "per-tenant token-bucket burst (0 = derive from -rate)")
+		tenantQ  = fs.Int("tenant-queue", 0, "per-tenant queued-job quota (0 = only the global -queue bound)")
+		maxTrace = fs.Int64("max-trace-bytes", 0, "largest accepted trace upload in bytes (0 = 8 MiB)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -38,10 +43,15 @@ func runServe(args []string) error {
 	}
 	srv, err := server.New(server.Config{
 		StateDir:        *stateDir,
+		JobDir:          *jobDir,
 		QueueSize:       *queue,
 		Workers:         *jobs,
 		DefaultParallel: *parallel,
 		KeepJobs:        *keep,
+		RatePerSec:      *rate,
+		Burst:           *burst,
+		TenantQueue:     *tenantQ,
+		MaxTraceBytes:   *maxTrace,
 	})
 	if err != nil {
 		return err
@@ -54,6 +64,9 @@ func runServe(args []string) error {
 	fmt.Printf("uflip serve: listening on http://%s (%d job workers, queue %d", ln.Addr(), *jobs, *queue)
 	if *stateDir != "" {
 		fmt.Printf(", state store %s", *stateDir)
+	}
+	if *jobDir != "" {
+		fmt.Printf(", job dir %s", *jobDir)
 	}
 	fmt.Println(")")
 

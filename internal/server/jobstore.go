@@ -1,0 +1,127 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"uflip/internal/api"
+	"uflip/internal/report"
+	"uflip/internal/trace"
+)
+
+// jobRecord is the durable form of a job, persisted to <jobdir>/jobs as
+// <id>.json with the same atomic fsync+rename discipline the state store
+// uses. A record is written at submission (status queued) and rewritten
+// when the job finishes, together with its rendered CSV (<id>.csv) and
+// report (<id>.report) artifacts — so a restarted daemon serves finished
+// results byte-identical to the process that computed them, and re-queues
+// jobs that never got to run.
+type jobRecord struct {
+	ID        string            `json:"id"`
+	Tenant    string            `json:"tenant,omitempty"`
+	Req       api.JobRequest    `json:"request"`
+	Status    string            `json:"status"`
+	Error     string            `json:"error,omitempty"`
+	Submitted time.Time         `json:"submitted"`
+	Started   time.Time         `json:"started,omitzero"`
+	Finished  time.Time         `json:"finished,omitzero"`
+	Events    []api.Event       `json:"events,omitempty"`
+	Records   []trace.RunRecord `json:"records,omitempty"`
+	Rows      []report.ArrayRow `json:"rows,omitempty"`
+}
+
+// jobStore is the on-disk side of job durability: a directory of job
+// records and their artifacts. All writes are atomic (fsync + rename); the
+// in-memory Server remains the source of truth while running, the store is
+// what a restart recovers from.
+type jobStore struct {
+	dir string // <jobdir>/jobs
+}
+
+func openJobStore(jobdir string) (*jobStore, error) {
+	dir := filepath.Join(jobdir, "jobs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: job store: %w", err)
+	}
+	return &jobStore{dir: dir}, nil
+}
+
+func (st *jobStore) path(id, ext string) string {
+	return filepath.Join(st.dir, id+ext)
+}
+
+// saveRecord persists the job record atomically.
+func (st *jobStore) saveRecord(rec *jobRecord) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: job store: encode %s: %w", rec.ID, err)
+	}
+	if err := trace.WriteFileAtomic(st.path(rec.ID, ".json"), data); err != nil {
+		return fmt.Errorf("server: job store: write %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// saveArtifact persists one rendered artifact (".csv" or ".report")
+// atomically. A nil artifact (array jobs have no CSV) is skipped.
+func (st *jobStore) saveArtifact(id, ext string, data []byte) error {
+	if data == nil {
+		return nil
+	}
+	if err := trace.WriteFileAtomic(st.path(id, ext), data); err != nil {
+		return fmt.Errorf("server: job store: write %s%s: %w", id, ext, err)
+	}
+	return nil
+}
+
+// artifact reads a persisted artifact; a missing file returns nil.
+func (st *jobStore) artifact(id, ext string) []byte {
+	data, err := os.ReadFile(st.path(id, ext))
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// remove deletes a job's record and artifacts (eviction).
+func (st *jobStore) remove(id string) {
+	for _, ext := range []string{".json", ".csv", ".report"} {
+		os.Remove(st.path(id, ext))
+	}
+}
+
+// load reads every persisted job record, sorted by ID (submission order —
+// IDs are zero-padded sequence numbers). Unreadable or corrupt records fail
+// loudly: a damaged job directory must be noticed, not silently skipped.
+func (st *jobStore) load() ([]*jobRecord, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: job store: %w", err)
+	}
+	var recs []*jobRecord
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".tmp-") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(st.dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("server: job store: %w", err)
+		}
+		rec := &jobRecord{}
+		if err := json.Unmarshal(data, rec); err != nil {
+			return nil, fmt.Errorf("server: job store: decode %s: %w", name, err)
+		}
+		if rec.ID == "" || rec.ID+".json" != name {
+			return nil, fmt.Errorf("server: job store: %s does not belong to job %q", name, rec.ID)
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs, nil
+}

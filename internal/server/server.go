@@ -4,9 +4,26 @@
 // existing engine at configurable parallelism with per-job cancellation,
 // and serves the results back as JSON, CSV and human-readable reports.
 //
+// The API is versioned under /v1 (the unversioned legacy routes remain as
+// aliases) and speaks the shared wire types of internal/api, including a
+// typed error envelope on every non-2xx response. Three production
+// capabilities sit on top:
+//
+//   - Streaming progress: GET /v1/jobs/{id}/events serves the job's
+//     lifecycle as server-sent events with monotonic IDs; a client that
+//     reconnects with Last-Event-ID resumes without losing an event.
+//   - Durable jobs: with a job directory configured, every submission is
+//     persisted and every finished job's record, CSV and report are written
+//     with atomic fsync+rename — a restarted daemon serves byte-identical
+//     results and re-queues jobs that never ran.
+//   - Admission control and trace upload: per-tenant (X-API-Key) token
+//     bucket rate limits and queue quotas guard the bounded queue with
+//     typed 429/503 envelopes, and POST /v1/traces accepts bounded-size
+//     block-trace CSVs that workload jobs reference by content hash.
+//
 // Every job routes through the same pipeline the CLI uses
-// (paperexp.RunBenchmark, workload.ReplayParallel, paperexp.ArraySweep), so
-// a job's results are byte-identical to the equivalent CLI invocation. All
+// (paperexp.RunBenchmark, workload.Generate, paperexp.ArraySweep), so a
+// job's results are byte-identical to the equivalent CLI invocation. All
 // jobs share one persistent state store (when configured): the first job
 // needing a (device, capacity, seed) state enforces and saves it, every
 // later job — concurrent or in a later process — loads it from disk and
@@ -17,20 +34,47 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"uflip/internal/api"
 	"uflip/internal/core"
 	"uflip/internal/device"
+	"uflip/internal/methodology"
 	"uflip/internal/paperexp"
 	"uflip/internal/profile"
 	"uflip/internal/report"
+	"uflip/internal/server/events"
 	"uflip/internal/statestore"
 	"uflip/internal/trace"
 	"uflip/internal/workload"
+)
+
+// Aliases into the shared wire-type package, kept so existing callers (and
+// the pre-/v1 import surface) keep compiling; internal/api is the source of
+// truth both the server and the Go client build against.
+type (
+	JobRequest      = api.JobRequest
+	WorkloadRequest = api.WorkloadRequest
+	ArrayRequest    = api.ArrayRequest
+	JobStatus       = api.JobStatus
+)
+
+// Job statuses.
+const (
+	StatusQueued   = api.StatusQueued
+	StatusRunning  = api.StatusRunning
+	StatusDone     = api.StatusDone
+	StatusFailed   = api.StatusFailed
+	StatusCanceled = api.StatusCanceled
 )
 
 // Config tunes the daemon.
@@ -38,6 +82,11 @@ type Config struct {
 	// StateDir is the persistent state-store directory shared by all jobs;
 	// empty disables the store (every job enforces live).
 	StateDir string
+	// JobDir is the durable-job directory: submissions and finished-job
+	// records/artifacts persist there (atomic fsync+rename) and uploaded
+	// traces live under its traces/ subdirectory. Empty keeps jobs and
+	// traces in memory only — a restart loses them.
+	JobDir string
 	// QueueSize bounds jobs waiting to run; submissions beyond it are
 	// rejected with 503 (<= 0: 64).
 	QueueSize int
@@ -47,10 +96,22 @@ type Config struct {
 	// DefaultParallel is the per-job engine worker count used when a
 	// request does not set one (<= 0: GOMAXPROCS).
 	DefaultParallel int
-	// KeepJobs bounds the finished (done/failed/canceled) jobs retained in
-	// memory — results included — so a long-running daemon does not grow
-	// without bound; the oldest finished jobs are evicted first (<= 0: 256).
+	// KeepJobs bounds the finished (done/failed/canceled) jobs retained —
+	// results included — so a long-running daemon does not grow without
+	// bound; the oldest finished jobs are evicted first, from memory and
+	// from JobDir (<= 0: 256).
 	KeepJobs int
+	// RatePerSec is the per-tenant submission rate limit in jobs/second;
+	// <= 0 disables rate limiting. Tenants are X-API-Key header values.
+	RatePerSec float64
+	// Burst is the per-tenant token-bucket depth (<= 0: RatePerSec rounded
+	// down, at least 1).
+	Burst int
+	// TenantQueue bounds one tenant's jobs waiting in the queue; <= 0
+	// leaves only the global QueueSize bound.
+	TenantQueue int
+	// MaxTraceBytes bounds an uploaded block-trace CSV (<= 0: 8 MiB).
+	MaxTraceBytes int64
 }
 
 func (c Config) queueSize() int {
@@ -81,112 +142,28 @@ func (c Config) keepJobs() int {
 	return c.KeepJobs
 }
 
-// JobRequest is the JSON body of a job submission.
-type JobRequest struct {
-	// Kind selects the experiment: "plan" (the micro-benchmark plan),
-	// "workload" (synthetic workload replay) or "array" (the composite
-	// array scenario sweep).
-	Kind string `json:"kind"`
-	// Device is the profile key or array spec (plan and workload kinds).
-	Device string `json:"device,omitempty"`
-	// Capacity is the simulated capacity in bytes, per member for array
-	// specs (0 = 1 GiB, the CLI default).
-	Capacity int64 `json:"capacity,omitempty"`
-	// Seed is the random seed (0 = 42, the CLI default).
-	Seed int64 `json:"seed,omitempty"`
-	// IOCount is the base run length for plan and array kinds (0 = 1024).
-	IOCount int `json:"iocount,omitempty"`
-	// Micros selects micro-benchmarks for the plan kind (empty = all nine).
-	Micros []string `json:"micros,omitempty"`
-	// Parallel is the per-job engine worker count (0 = server default).
-	// Results are byte-identical for any value.
-	Parallel int `json:"parallel,omitempty"`
-	// Workload parameterizes the workload kind.
-	Workload *WorkloadRequest `json:"workload,omitempty"`
-	// Array parameterizes the array kind.
-	Array *ArrayRequest `json:"array,omitempty"`
-}
-
-// WorkloadRequest parameterizes a workload job: the synthetic generator
-// spec plus replay segmentation. The job's top-level seed drives both the
-// stream generation and the device state, exactly as the CLI does. Fields
-// omitted from the JSON take the CLI flag defaults (read_fraction 0.7,
-// streams 4, zipf_s 1.2, ops 2048, burst gap 100 ms, segment 512, ...) so
-// the minimal request runs the same workload as the minimal CLI invocation;
-// explicitly provided values — zeros included — are honored.
-type WorkloadRequest struct {
-	workload.Spec
-	// SegmentOps is the replay segmentation; it defines the shards, so
-	// keep it fixed across runs meant to compare.
-	SegmentOps int `json:"segment_ops,omitempty"`
-	// WindowOps sizes the windowed summaries.
-	WindowOps int `json:"window_ops,omitempty"`
-}
-
-// UnmarshalJSON seeds the CLI flag defaults before decoding, so an omitted
-// field means "the CLI default" while an explicit zero stays expressible.
-func (wr *WorkloadRequest) UnmarshalJSON(b []byte) error {
-	type plain WorkloadRequest
-	tmp := plain{
-		Spec: workload.Spec{
-			Count:        2048,
-			PageSize:     8 * 1024,
-			IOSize:       32 * 1024,
-			ReadFraction: 0.7,
-			ZipfS:        1.2,
-			Streams:      4,
-			BurstOps:     32,
-			BurstGap:     100 * time.Millisecond,
-		},
-		SegmentOps: 512,
-		WindowOps:  256,
+func (c Config) burst() int {
+	if c.Burst > 0 {
+		return c.Burst
 	}
-	dec := json.NewDecoder(bytes.NewReader(b))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&tmp); err != nil {
-		return err
+	if c.RatePerSec >= 1 {
+		return int(c.RatePerSec)
 	}
-	*wr = WorkloadRequest(tmp)
-	return nil
+	return 1
 }
 
-// ArrayRequest parameterizes an array-sweep job.
-type ArrayRequest struct {
-	Member      string   `json:"member"`
-	Layouts     []string `json:"layouts,omitempty"`
-	Counts      []int    `json:"counts,omitempty"`
-	QueueDepths []int    `json:"queue_depths,omitempty"`
-	ChunkBytes  int64    `json:"chunk_bytes,omitempty"`
-	Degree      int      `json:"degree,omitempty"`
-}
-
-// Job statuses.
-const (
-	StatusQueued   = "queued"
-	StatusRunning  = "running"
-	StatusDone     = "done"
-	StatusFailed   = "failed"
-	StatusCanceled = "canceled"
-)
-
-// JobStatus is the JSON view of a job.
-type JobStatus struct {
-	ID        string    `json:"id"`
-	Kind      string    `json:"kind"`
-	Device    string    `json:"device,omitempty"`
-	Status    string    `json:"status"`
-	Error     string    `json:"error,omitempty"`
-	Submitted time.Time `json:"submitted"`
-	Started   time.Time `json:"started,omitzero"`
-	Finished  time.Time `json:"finished,omitzero"`
-	// Runs is the number of result records (plan/workload) or grid rows
-	// (array) once the job is done.
-	Runs int `json:"runs,omitempty"`
+func (c Config) maxTraceBytes() int64 {
+	if c.MaxTraceBytes <= 0 {
+		return 8 << 20
+	}
+	return c.MaxTraceBytes
 }
 
 type job struct {
-	id  string
-	req JobRequest
+	id     string
+	tenant string
+	req    JobRequest
+	log    *events.Log
 
 	status    string
 	errText   string
@@ -197,24 +174,53 @@ type job struct {
 
 	records []trace.RunRecord // plan and workload results
 	rows    []report.ArrayRow // array results
+	csv     []byte            // summary CSV, rendered once at completion
 	report  []byte            // human-readable report
+}
+
+// emit appends a job-stamped event to the job's stream.
+func (j *job) emit(e api.Event) {
+	e.Job = j.id
+	j.log.Append(e)
+}
+
+// record is the job's durable form. The caller must either hold the server
+// lock or own the job (its running worker goroutine).
+func (j *job) record() *jobRecord {
+	return &jobRecord{
+		ID:        j.id,
+		Tenant:    j.tenant,
+		Req:       j.req,
+		Status:    j.status,
+		Error:     j.errText,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Events:    j.log.Snapshot(),
+		Records:   j.records,
+		Rows:      j.rows,
+	}
 }
 
 // Server is the experiment daemon. Create with New, expose via Handler,
 // stop with Close.
 type Server struct {
-	cfg   Config
-	store *statestore.Store
+	cfg     Config
+	store   *statestore.Store
+	jobsdir *jobStore // nil without Config.JobDir
+	traces  *traceStore
+	now     func() time.Time // injectable for admission tests
 
 	baseCtx context.Context
 	stop    context.CancelFunc
 
-	mu     sync.Mutex
-	cond   *sync.Cond // signals workers that pending grew (or closed)
-	jobs   map[string]*job
-	order  []string
-	nextID int
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond // signals workers that pending grew (or closed)
+	jobs    map[string]*job
+	order   []string
+	tenants map[string]*tenantState
+	nextID  int
+	closed  bool
 
 	// pending is the bounded submission queue, guarded by mu. A slice (not
 	// a channel) so canceling a queued job frees its slot immediately.
@@ -222,7 +228,11 @@ type Server struct {
 	wg      sync.WaitGroup
 }
 
-// New builds the daemon and starts its job workers.
+// New builds the daemon, recovers any persisted jobs and uploaded traces
+// from Config.JobDir, and starts its job workers. Jobs that were queued or
+// running when the previous process died are re-queued — execution is
+// deterministic, so re-running serves the results the lost process would
+// have.
 func New(cfg Config) (*Server, error) {
 	var store *statestore.Store
 	if cfg.StateDir != "" {
@@ -231,20 +241,94 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	traces, err := openTraceStore(cfg.JobDir)
+	if err != nil {
+		return nil, err
+	}
+	var jobsdir *jobStore
+	if cfg.JobDir != "" {
+		if jobsdir, err = openJobStore(cfg.JobDir); err != nil {
+			return nil, err
+		}
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
 		store:   store,
+		jobsdir: jobsdir,
+		traces:  traces,
+		now:     time.Now,
 		baseCtx: ctx,
 		stop:    stop,
 		jobs:    make(map[string]*job),
+		tenants: make(map[string]*tenantState),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if jobsdir != nil {
+		if err := s.loadJobs(); err != nil {
+			stop()
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.workers(); i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// loadJobs restores persisted jobs into memory before the workers start:
+// finished jobs with their results, artifacts and complete event history;
+// interrupted jobs (queued or running at the crash) back onto the queue.
+func (s *Server) loadJobs() error {
+	recs, err := s.jobsdir.load()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		j := &job{
+			id:        rec.ID,
+			tenant:    rec.Tenant,
+			req:       rec.Req,
+			status:    rec.Status,
+			errText:   rec.Error,
+			submitted: rec.Submitted,
+			started:   rec.Started,
+			finished:  rec.Finished,
+		}
+		if n, ok := idNum(rec.ID); ok && n > s.nextID {
+			s.nextID = n
+		}
+		switch rec.Status {
+		case StatusDone, StatusFailed, StatusCanceled:
+			j.log = events.Restore(rec.Events)
+			j.records = rec.Records
+			j.rows = rec.Rows
+			j.csv = s.jobsdir.artifact(rec.ID, ".csv")
+			j.report = s.jobsdir.artifact(rec.ID, ".report")
+		default:
+			j.status = StatusQueued
+			j.errText = ""
+			j.started = time.Time{}
+			j.log = events.NewLog()
+			j.emit(api.Event{Type: api.EventQueued, Detail: "re-queued after daemon restart"})
+			s.pending = append(s.pending, j)
+			s.tenant(j.tenant).queued++
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	s.evictLocked()
+	return nil
+}
+
+// idNum extracts the sequence number of a "j-%06d" job ID.
+func idNum(id string) (int, bool) {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "j-"))
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 func (s *Server) worker() {
@@ -260,6 +344,9 @@ func (s *Server) worker() {
 		}
 		j := s.pending[0]
 		s.pending = s.pending[1:]
+		// The job leaves the queue here, whatever happens next, so this is
+		// where its slot stops counting against the tenant's queue quota.
+		s.tenant(j.tenant).queued--
 		s.mu.Unlock()
 		s.runJob(j)
 		s.mu.Lock()
@@ -267,7 +354,9 @@ func (s *Server) worker() {
 }
 
 // Close rejects new submissions, cancels queued and running jobs and waits
-// for the workers to drain.
+// for the workers to drain. Persisted records of unfinished jobs keep their
+// queued status, so a daemon restarted on the same job directory re-queues
+// and completes them.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -275,38 +364,60 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	now := time.Now()
-	for _, j := range s.pending {
+	now := s.now()
+	drained := s.pending
+	s.pending = nil
+	for _, j := range drained {
 		j.status = StatusCanceled
 		j.finished = now
+		s.tenant(j.tenant).queued--
 	}
-	s.pending = nil
 	s.mu.Unlock()
+	for _, j := range drained {
+		j.emit(api.Event{Type: api.EventCanceled, Detail: "daemon shutting down"})
+		j.log.Close()
+	}
 	s.stop()
 	s.cond.Broadcast()
 	s.wg.Wait()
 }
 
-// Handler returns the HTTP API:
+// Handler returns the HTTP API. Every route lives under /v1; the
+// unversioned paths remain as exact aliases of their /v1 equivalents:
 //
-//	GET    /healthz          liveness + queue counters
-//	POST   /jobs             submit a job (JobRequest JSON)
-//	GET    /jobs             list jobs
-//	GET    /jobs/{id}        job status
-//	DELETE /jobs/{id}        cancel a job
-//	GET    /jobs/{id}/result results as JSON (records or grid rows)
-//	GET    /jobs/{id}/csv    summary CSV (identical to the CLI's -out file)
-//	GET    /jobs/{id}/report human-readable report
+//	GET    /v1/healthz          liveness + queue counters
+//	POST   /v1/jobs             submit a job (api.JobRequest JSON)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/events SSE progress stream (Last-Event-ID resume)
+//	GET    /v1/jobs/{id}/result results as JSON (records or grid rows)
+//	GET    /v1/jobs/{id}/csv    summary CSV (identical to the CLI's -out file)
+//	GET    /v1/jobs/{id}/report human-readable report
+//	POST   /v1/traces           upload a block-trace CSV (bounded size)
+//	GET    /v1/traces           list uploaded traces
+//	GET    /v1/traces/{hash}    fetch an uploaded trace CSV
+//
+// Non-2xx responses carry the typed error envelope
+// {"error":{"code","message"}} (api.ErrorEnvelope).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /jobs/{id}/csv", s.handleCSV)
-	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	handle := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /"+api.Version+path, h)
+		mux.HandleFunc(method+" "+path, h) // legacy unversioned alias
+	}
+	handle("GET", "/healthz", s.handleHealth)
+	handle("POST", "/jobs", s.handleSubmit)
+	handle("GET", "/jobs", s.handleList)
+	handle("GET", "/jobs/{id}", s.handleStatus)
+	handle("DELETE", "/jobs/{id}", s.handleCancel)
+	handle("GET", "/jobs/{id}/events", s.handleEvents)
+	handle("GET", "/jobs/{id}/result", s.handleResult)
+	handle("GET", "/jobs/{id}/csv", s.handleCSV)
+	handle("GET", "/jobs/{id}/report", s.handleReport)
+	handle("POST", "/traces", s.handleTraceUpload)
+	handle("GET", "/traces", s.handleTraceList)
+	handle("GET", "/traces/{hash}", s.handleTraceGet)
 	return mux
 }
 
@@ -318,8 +429,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeError emits the typed error envelope every non-2xx response uses.
+func writeError(w http.ResponseWriter, status int, code api.ErrorCode, format string, args ...any) {
+	writeJSON(w, status, api.ErrorEnvelope{Err: api.Error{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -331,15 +443,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
+		"api":        api.Version,
 		"jobs":       counts,
 		"queue_size": s.cfg.queueSize(),
 		"workers":    s.cfg.workers(),
 		"state_dir":  s.cfg.StateDir,
+		"job_dir":    s.cfg.JobDir,
 	})
 }
 
 // validate normalizes a request, applying the CLI-equivalent defaults.
-func validate(req *JobRequest) error {
+func (s *Server) validate(req *JobRequest) error {
 	if req.Capacity == 0 {
 		req.Capacity = 1 << 30
 	}
@@ -380,6 +494,19 @@ func validate(req *JobRequest) error {
 		if req.Workload.TargetSize == 0 {
 			req.Workload.TargetSize = req.Capacity / 2
 		}
+		if th := req.Workload.TraceHash; th != "" {
+			if req.Workload.Kind != "" && req.Workload.Kind != "trace" {
+				return fmt.Errorf("workload kind %q conflicts with trace_hash (leave kind empty or \"trace\")", req.Workload.Kind)
+			}
+			req.Workload.Kind = "trace"
+			if !s.traces.contains(th) {
+				return fmt.Errorf("unknown trace %q (upload it via POST /%s/traces first)", th, api.Version)
+			}
+			return nil
+		}
+		if req.Workload.Kind == "trace" {
+			return fmt.Errorf("trace workloads need a trace_hash (upload via POST /%s/traces)", api.Version)
+		}
 		if req.Workload.Count <= 0 {
 			return fmt.Errorf("workload jobs need a positive op count")
 		}
@@ -409,36 +536,66 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 		return
 	}
-	if err := validate(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid job: %v", err)
+	if err := s.validate(&req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "invalid job: %v", err)
 		return
 	}
-	// Closed check, queue bound and registration happen under one lock, so
-	// a rejected submission never leaves a dangling jobs/order entry.
+	tenant := r.Header.Get(api.KeyHeader)
+	// Closed check, admission control, queue bound and registration happen
+	// under one lock, so a rejected submission never leaves a dangling
+	// jobs/order entry or a consumed quota slot.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeError(w, http.StatusServiceUnavailable, api.CodeShuttingDown, "server is shutting down")
 		return
 	}
 	if len(s.pending) >= s.cfg.queueSize() {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "job queue is full (%d queued)", s.cfg.queueSize())
+		writeError(w, http.StatusServiceUnavailable, api.CodeQueueFull, "job queue is full (%d queued)", s.cfg.queueSize())
+		return
+	}
+	t := s.tenant(tenant)
+	switch t.admit(s) {
+	case "rate":
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, api.CodeRateLimited,
+			"tenant submission rate exceeded (%.3g jobs/s, burst %d)", s.cfg.RatePerSec, s.cfg.burst())
+		return
+	case "quota":
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, api.CodeQuotaExceeded,
+			"tenant queue quota exceeded (%d jobs queued)", s.cfg.TenantQueue)
 		return
 	}
 	s.nextID++
 	j := &job{
 		id:        fmt.Sprintf("j-%06d", s.nextID),
+		tenant:    tenant,
 		req:       req,
+		log:       events.NewLog(),
 		status:    StatusQueued,
-		submitted: time.Now(),
+		submitted: s.now(),
+	}
+	j.emit(api.Event{Type: api.EventQueued})
+	if s.jobsdir != nil {
+		// Durability before acceptance: a 202 means the job survives a
+		// crash, so a submission that cannot be persisted is refused whole.
+		if err := s.jobsdir.saveRecord(j.record()); err != nil {
+			s.nextID--
+			t.queued-- // admit consumed nothing besides a token
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, api.CodeInternal, "persist job: %v", err)
+			return
+		}
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.pending = append(s.pending, j)
+	t.queued++
 	st := s.statusOfLocked(j)
 	s.mu.Unlock()
 	s.cond.Signal()
@@ -460,6 +617,7 @@ func (s *Server) statusOfLocked(j *job) JobStatus {
 		ID:        j.id,
 		Kind:      j.req.Kind,
 		Device:    j.req.Device,
+		Tenant:    j.tenant,
 		Status:    j.status,
 		Error:     j.errText,
 		Submitted: j.submitted,
@@ -474,7 +632,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	j := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "unknown job %q", r.PathValue("id"))
 	}
 	return j
 }
@@ -486,7 +644,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		out = append(out, s.statusOfLocked(s.jobs[id]))
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	writeJSON(w, http.StatusOK, api.JobList{Jobs: out})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -501,15 +659,18 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	canceledQueued := false
 	switch j.status {
 	case StatusQueued:
 		j.status = StatusCanceled
-		j.finished = time.Now()
+		j.finished = s.now()
+		canceledQueued = true
 		// Free the queue slot immediately: later submissions must not be
 		// rejected on account of jobs that will never run.
 		for i, p := range s.pending {
 			if p == j {
 				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				s.tenant(j.tenant).queued--
 				break
 			}
 		}
@@ -521,7 +682,64 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.statusOfLocked(j)
 	s.mu.Unlock()
+	if canceledQueued {
+		j.emit(api.Event{Type: api.EventCanceled, Detail: "canceled while queued"})
+		j.log.Close()
+		s.persistFinished(j)
+	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams the job's progress as server-sent events. Event IDs
+// are the monotonic per-job sequence; a reconnecting client passes the
+// standard Last-Event-ID header (or ?after=N) and resumes exactly after the
+// last event it saw. The stream ends after a terminal event (done, failed,
+// canceled).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	after := int64(0)
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("after")
+	}
+	if raw != "" {
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad Last-Event-ID %q", raw)
+			return
+		}
+		after = n
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		ev, ok, err := j.log.Next(r.Context(), after)
+		if err != nil || !ok {
+			return // client gone, or history complete with no terminal event
+		}
+		after = ev.ID
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, data); err != nil {
+			return
+		}
+		fl.Flush()
+		if ev.Terminal() {
+			return
+		}
+	}
 }
 
 // finished returns the job if it completed successfully, writing the
@@ -538,11 +756,11 @@ func (s *Server) finished(w http.ResponseWriter, r *http.Request) *job {
 	case StatusDone:
 		return j
 	case StatusFailed:
-		writeError(w, http.StatusInternalServerError, "job failed: %s", errText)
+		writeError(w, http.StatusInternalServerError, api.CodeJobFailed, "job failed: %s", errText)
 	case StatusCanceled:
-		writeError(w, http.StatusGone, "job was canceled")
+		writeError(w, http.StatusGone, api.CodeCanceled, "job was canceled")
 	default:
-		writeError(w, http.StatusConflict, "job is %s; results are not ready", status)
+		writeError(w, http.StatusConflict, api.CodeNotReady, "job is %s; results are not ready", status)
 	}
 	return nil
 }
@@ -565,16 +783,22 @@ func (s *Server) handleCSV(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if j.req.Kind == "array" {
-		writeError(w, http.StatusNotFound, "array jobs have no CSV; fetch /result or /report")
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "array jobs have no CSV; fetch /result or /report")
 		return
 	}
-	var buf bytes.Buffer
-	if err := trace.WriteSummaryCSV(&buf, j.records); err != nil {
-		writeError(w, http.StatusInternalServerError, "render csv: %v", err)
-		return
+	csv := j.csv
+	if csv == nil {
+		// Restored job whose CSV artifact is missing: re-render from the
+		// persisted records (the render is a pure function of them).
+		var buf bytes.Buffer
+		if err := trace.WriteSummaryCSV(&buf, j.records); err != nil {
+			writeError(w, http.StatusInternalServerError, api.CodeInternal, "render csv: %v", err)
+			return
+		}
+		csv = buf.Bytes()
 	}
 	w.Header().Set("Content-Type", "text/csv")
-	_, _ = w.Write(buf.Bytes())
+	_, _ = w.Write(csv)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -586,6 +810,75 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(j.report)
 }
 
+// handleTraceUpload accepts a block-trace CSV (bounded size), validates it
+// with the hardened trace parser and stores it content-addressed; workload
+// jobs then reference it by hash.
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	limit := s.cfg.maxTraceBytes()
+	body, err := readAllLimited(w, r, limit)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge,
+				"trace exceeds the %d-byte upload bound", limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "read trace: %v", err)
+		return
+	}
+	ops, err := workload.ReadTrace(bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "invalid trace: %v", err)
+		return
+	}
+	info, err := s.traces.put(body, len(ops))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "store trace: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func readAllLimited(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+}
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.TraceList{Traces: s.traces.list()})
+}
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	body, ok := s.traces.get(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "unknown trace %q", hash)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	_, _ = w.Write(body)
+}
+
+// persistFinished writes the job's final record and artifacts to the job
+// directory. Persistence failures are reported on stderr but do not undo a
+// completed job: the results remain servable from memory, they just will
+// not survive a restart.
+func (s *Server) persistFinished(j *job) {
+	if s.jobsdir == nil {
+		return
+	}
+	if err := s.jobsdir.saveRecord(j.record()); err != nil {
+		fmt.Fprintln(os.Stderr, "uflip serve:", err)
+		return
+	}
+	if err := s.jobsdir.saveArtifact(j.id, ".csv", j.csv); err != nil {
+		fmt.Fprintln(os.Stderr, "uflip serve:", err)
+	}
+	if err := s.jobsdir.saveArtifact(j.id, ".report", j.report); err != nil {
+		fmt.Fprintln(os.Stderr, "uflip serve:", err)
+	}
+}
+
 // runJob executes one job on a worker goroutine.
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
@@ -595,32 +888,69 @@ func (s *Server) runJob(j *job) {
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j.status = StatusRunning
-	j.started = time.Now()
+	j.started = s.now()
 	j.cancel = cancel
 	s.mu.Unlock()
 	defer cancel()
+	j.emit(api.Event{Type: api.EventRunning})
 
 	err := s.execute(ctx, j)
+	if err == nil && j.req.Kind != "array" {
+		// Render the summary CSV once, now: the bytes served by /csv, the
+		// bytes persisted to the job directory and the bytes a restarted
+		// daemon serves are all the same render.
+		var buf bytes.Buffer
+		if cerr := trace.WriteSummaryCSV(&buf, j.records); cerr != nil {
+			err = cerr
+		} else {
+			j.csv = buf.Bytes()
+		}
+	}
 
 	s.mu.Lock()
-	j.finished = time.Now()
+	j.finished = s.now()
+	shutdown := s.baseCtx.Err() != nil
 	switch {
 	case err == nil:
 		j.status = StatusDone
-	case ctx.Err() != nil && s.baseCtx.Err() == nil:
+	case ctx.Err() != nil && !shutdown:
 		j.status = StatusCanceled
 		j.errText = err.Error()
 	default:
 		j.status = StatusFailed
 		j.errText = err.Error()
 	}
+	status, errText, runs := j.status, j.errText, len(j.records)
+	if j.req.Kind == "array" {
+		runs = len(j.rows)
+	}
+	s.mu.Unlock()
+
+	switch status {
+	case StatusDone:
+		j.emit(api.Event{Type: api.EventDone, Runs: runs})
+	case StatusCanceled:
+		j.emit(api.Event{Type: api.EventCanceled, Detail: "canceled while running"})
+	default:
+		j.emit(api.Event{Type: api.EventFailed, Error: errText})
+	}
+	j.log.Close()
+	if !shutdown {
+		// A shutdown-interrupted job is deliberately NOT persisted in its
+		// terminal state: its durable record still says queued, so the next
+		// daemon on this job directory re-queues and completes it.
+		s.persistFinished(j)
+	}
+
+	s.mu.Lock()
 	s.evictLocked()
 	s.mu.Unlock()
 }
 
 // evictLocked drops the oldest finished jobs beyond the retention bound —
-// result records included — so a long-running daemon's memory stays bounded.
-// Queued and running jobs are never evicted. Callers hold s.mu.
+// result records, artifacts and durable files included — so a long-running
+// daemon's memory and job directory stay bounded. Queued and running jobs
+// are never evicted. Callers hold s.mu.
 func (s *Server) evictLocked() {
 	finished := 0
 	for _, j := range s.jobs {
@@ -636,6 +966,9 @@ func (s *Server) evictLocked() {
 		case StatusDone, StatusFailed, StatusCanceled:
 			delete(s.jobs, j.id)
 			s.order = append(s.order[:i], s.order[i+1:]...)
+			if s.jobsdir != nil {
+				s.jobsdir.remove(j.id)
+			}
 			finished--
 		default:
 			i++
@@ -648,6 +981,13 @@ func (s *Server) parallel(req JobRequest) int {
 		return req.Parallel
 	}
 	return s.cfg.defaultParallel()
+}
+
+// progressFunc adapts engine progress callbacks into the job's event stream.
+func (j *job) progressFunc() func(done, total int, desc string) {
+	return func(done, total int, desc string) {
+		j.emit(api.Event{Type: api.EventProgress, Done: done, Total: total, Detail: desc})
+	}
 }
 
 // execute dispatches by kind; results land in the job under the server lock.
@@ -668,8 +1008,34 @@ func (s *Server) executePlan(ctx context.Context, j *job) error {
 	req := j.req
 	cfg := paperexp.Config{Capacity: req.Capacity, Seed: req.Seed, IOCount: req.IOCount, Store: s.store}
 	out, err := paperexp.RunBenchmark(ctx, req.Device, cfg, paperexp.BenchmarkRequest{
-		Micros:  req.Micros,
-		Workers: s.parallel(req),
+		Micros:   req.Micros,
+		Workers:  s.parallel(req),
+		Progress: j.progressFunc(),
+		Stages: paperexp.Stages{
+			EnforcingState: func(capacity int64) {
+				j.emit(api.Event{Type: api.EventStage, Stage: api.StageEnforcingState,
+					Detail: fmt.Sprintf("enforcing random state over %d MB", capacity>>20)})
+			},
+			StateEnforced: func(at time.Duration, hit bool) {
+				detail := fmt.Sprintf("state enforced in %v of device time", at.Round(time.Second))
+				if hit {
+					detail = fmt.Sprintf("state cache hit (%v of device time), fill skipped", at.Round(time.Second))
+				}
+				j.emit(api.Event{Type: api.EventStage, Stage: api.StageStateEnforced, Detail: detail})
+			},
+			PhasesMeasured: func(p *methodology.PhaseReport) {
+				j.emit(api.Event{Type: api.EventStage, Stage: api.StagePhasesMeasured,
+					Detail: "start-up and running phases measured"})
+			},
+			PauseMeasured: func(p *methodology.PauseReport) {
+				j.emit(api.Event{Type: api.EventStage, Stage: api.StagePauseMeasured,
+					Detail: fmt.Sprintf("pause between runs: %v", p.RecommendedPause)})
+			},
+			PlanBuilt: func(plan methodology.Plan, workers int) {
+				j.emit(api.Event{Type: api.EventStage, Stage: api.StagePlanBuilt, Total: len(plan.Steps) - plan.Resets,
+					Detail: fmt.Sprintf("plan: %d runs on %d workers", len(plan.Steps)-plan.Resets, workers)})
+			},
+		},
 	})
 	if err != nil {
 		return err
@@ -687,9 +1053,22 @@ func (s *Server) executePlan(ctx context.Context, j *job) error {
 
 func (s *Server) executeWorkload(ctx context.Context, j *job) error {
 	req := j.req // normalized by validate at submission
-	gen, err := req.Workload.Spec.Build()
-	if err != nil {
-		return err
+	var gen workload.Generator
+	if th := req.Workload.TraceHash; th != "" {
+		body, ok := s.traces.get(th)
+		if !ok {
+			return fmt.Errorf("trace %s is no longer available", th)
+		}
+		ops, err := workload.ReadTrace(bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		gen = workload.Trace{Label: th[:12], Ops: ops}
+	} else {
+		var err error
+		if gen, err = req.Workload.Spec.Build(); err != nil {
+			return err
+		}
 	}
 	factory := paperexp.ShardFactory(req.Device, paperexp.Config{
 		Capacity: req.Capacity,
@@ -702,6 +1081,7 @@ func (s *Server) executeWorkload(ctx context.Context, j *job) error {
 		Workers:    s.parallel(req),
 		Seed:       req.Seed,
 		WindowOps:  req.Workload.WindowOps,
+		Progress:   j.progressFunc(),
 	})
 	if err != nil {
 		return err
@@ -746,7 +1126,7 @@ func (s *Server) executeArray(ctx context.Context, j *job) error {
 		Pause:    paperexp.DefaultConfig().Pause,
 		Store:    s.store,
 	}
-	rows, err := paperexp.ArraySweep(ctx, cfg, ac, nil)
+	rows, err := paperexp.ArraySweep(ctx, cfg, ac, j.progressFunc())
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"uflip/internal/api"
+	"uflip/internal/trace"
+	"uflip/internal/workload"
+)
+
+// traceStore holds uploaded block traces, content-addressed by the hex
+// SHA-256 of the raw CSV bytes. Uploads were already validated by
+// workload.ReadTrace, so anything in the store replays cleanly. With a job
+// directory configured the CSVs persist under <jobdir>/traces (atomic
+// fsync+rename, like job records); without one they live in memory only.
+// Either way an in-memory index serves lookups and listings.
+type traceStore struct {
+	dir string // "" = memory only
+
+	mu     sync.Mutex
+	bodies map[string][]byte        // hash -> raw CSV
+	infos  map[string]api.TraceInfo // hash -> metadata
+}
+
+// openTraceStore builds the store, reloading (and re-validating) any traces
+// a previous process persisted. Corrupt files fail loudly, mirroring the
+// state store: a damaged upload directory must never silently lose traces
+// that jobs reference by hash.
+func openTraceStore(jobdir string) (*traceStore, error) {
+	ts := &traceStore{
+		bodies: make(map[string][]byte),
+		infos:  make(map[string]api.TraceInfo),
+	}
+	if jobdir == "" {
+		return ts, nil
+	}
+	ts.dir = filepath.Join(jobdir, "traces")
+	if err := os.MkdirAll(ts.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: trace store: %w", err)
+	}
+	entries, err := os.ReadDir(ts.dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: trace store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".csv") || strings.HasPrefix(name, ".tmp-") {
+			continue
+		}
+		body, err := os.ReadFile(filepath.Join(ts.dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("server: trace store: %w", err)
+		}
+		hash := traceHash(body)
+		if hash+".csv" != name {
+			return nil, fmt.Errorf("server: trace store: %s does not match its content hash %s", name, hash)
+		}
+		ops, err := workload.ReadTrace(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("server: trace store: %s: %w", name, err)
+		}
+		ts.bodies[hash] = body
+		ts.infos[hash] = api.TraceInfo{Hash: hash, Bytes: int64(len(body)), Ops: len(ops)}
+	}
+	return ts, nil
+}
+
+func traceHash(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// put stores a validated upload and returns its metadata. Re-uploading
+// identical bytes is idempotent — same hash, same file.
+func (ts *traceStore) put(body []byte, ops int) (api.TraceInfo, error) {
+	hash := traceHash(body)
+	info := api.TraceInfo{Hash: hash, Bytes: int64(len(body)), Ops: ops}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.infos[hash]; ok {
+		return ts.infos[hash], nil
+	}
+	if ts.dir != "" {
+		if err := trace.WriteFileAtomic(filepath.Join(ts.dir, hash+".csv"), body); err != nil {
+			return api.TraceInfo{}, fmt.Errorf("server: trace store: %w", err)
+		}
+	}
+	ts.bodies[hash] = body
+	ts.infos[hash] = info
+	return info, nil
+}
+
+// get returns the raw CSV for a hash.
+func (ts *traceStore) get(hash string) ([]byte, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	body, ok := ts.bodies[hash]
+	return body, ok
+}
+
+// contains reports whether the hash is uploaded.
+func (ts *traceStore) contains(hash string) bool {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	_, ok := ts.infos[hash]
+	return ok
+}
+
+// list returns every uploaded trace's metadata, ordered by hash.
+func (ts *traceStore) list() []api.TraceInfo {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]api.TraceInfo, 0, len(ts.infos))
+	for _, info := range ts.infos {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
+	return out
+}

@@ -1,0 +1,510 @@
+package server_test
+
+// Tests for the /v1 API surface: the typed error envelope, the legacy-alias
+// guarantee, the server-sent event stream (ordering, monotonic IDs,
+// Last-Event-ID resume), durable-job restarts, per-tenant admission control
+// and trace upload. They drive the server through internal/client wherever a
+// real client would, so the client package is exercised against the real
+// handler stack rather than mocks.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"uflip/internal/api"
+	"uflip/internal/client"
+	"uflip/internal/paperexp"
+	"uflip/internal/server"
+	"uflip/internal/trace"
+	"uflip/internal/workload"
+)
+
+// renderWorkloadCSV renders a replay result the way the CLI's -out path does.
+func renderWorkloadCSV(t *testing.T, res *workload.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteSummaryCSV(&buf, paperexp.WorkloadRecords(res)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// slowPlanRequest is big enough to still be running when a test acts on it.
+func slowPlanRequest() server.JobRequest {
+	return server.JobRequest{Kind: "plan", Device: "mtron", Capacity: 256 << 20, IOCount: 512, Parallel: 1}
+}
+
+// submitKeyed posts a job under a tenant API key and returns the decoded
+// status (on 202) or error envelope.
+func submitKeyed(t *testing.T, ts *httptest.Server, key string, jr server.JobRequest) (server.JobStatus, int, api.ErrorCode) {
+	t.Helper()
+	body, err := json.Marshal(jr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set(api.KeyHeader, key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var env api.ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("non-202 submit (%d) without an error envelope: %v", resp.StatusCode, err)
+		}
+		return server.JobStatus{}, resp.StatusCode, env.Err.Code
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st, resp.StatusCode, ""
+}
+
+// TestLegacyRoutesAliasV1 pins the compatibility guarantee: every legacy
+// unversioned route serves exactly what its /v1 twin serves.
+func TestLegacyRoutesAliasV1(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{StateDir: t.TempDir(), Workers: 2})
+	st := submit(t, ts, planRequest("mtron", "Granularity"))
+	waitFor(t, ts, st.ID, server.StatusDone)
+	paths := []string{
+		"/healthz",
+		"/jobs",
+		"/jobs/" + st.ID,
+		"/jobs/" + st.ID + "/result",
+		"/jobs/" + st.ID + "/csv",
+		"/jobs/" + st.ID + "/report",
+		"/jobs/" + st.ID + "/events",
+		"/traces",
+	}
+	for _, p := range paths {
+		codeLegacy, bodyLegacy := get(t, ts, p)
+		codeV1, bodyV1 := get(t, ts, "/v1"+p)
+		if codeLegacy != codeV1 || !bytes.Equal(bodyLegacy, bodyV1) {
+			t.Fatalf("%s: legacy (%d, %d bytes) differs from /v1 (%d, %d bytes)",
+				p, codeLegacy, len(bodyLegacy), codeV1, len(bodyV1))
+		}
+	}
+}
+
+// TestErrorEnvelope pins the typed error shape on non-2xx responses.
+func TestErrorEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1})
+	cases := []struct {
+		path     string
+		wantHTTP int
+		wantCode api.ErrorCode
+	}{
+		{"/v1/jobs/j-999999", http.StatusNotFound, api.CodeNotFound},
+		{"/v1/jobs/j-999999/csv", http.StatusNotFound, api.CodeNotFound},
+		{"/v1/jobs/j-999999/events", http.StatusNotFound, api.CodeNotFound},
+		{"/v1/traces/deadbeef", http.StatusNotFound, api.CodeNotFound},
+	}
+	for _, c := range cases {
+		code, body := get(t, ts, c.path)
+		if code != c.wantHTTP {
+			t.Fatalf("%s: HTTP %d, want %d", c.path, code, c.wantHTTP)
+		}
+		var env api.ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatalf("%s: body is not an error envelope: %v (%s)", c.path, err, body)
+		}
+		if env.Err.Code != c.wantCode || env.Err.Message == "" {
+			t.Fatalf("%s: envelope %+v, want code %q with a message", c.path, env.Err, c.wantCode)
+		}
+	}
+	if _, code, errCode := submitKeyed(t, ts, "", server.JobRequest{Kind: "nope"}); code != http.StatusBadRequest || errCode != api.CodeBadRequest {
+		t.Fatalf("bad submit: HTTP %d code %q, want 400 bad_request", code, errCode)
+	}
+}
+
+// TestEventStreamOrdering watches a full job through the client's SSE
+// stream: IDs must be monotonic from 1, the lifecycle must read
+// queued -> running -> stages/progress -> done, and the terminal event must
+// agree with the final status.
+func TestEventStreamOrdering(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{StateDir: t.TempDir(), Workers: 2})
+	cl := &client.Client{BaseURL: ts.URL}
+	st := submit(t, ts, planRequest("mtron", "Granularity"))
+
+	var evs []api.Event
+	if err := cl.Events(context.Background(), st.ID, 0, func(ev api.Event) {
+		evs = append(evs, ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) < 4 {
+		t.Fatalf("only %d events, want at least queued/running/stages/done", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.ID != int64(i+1) {
+			t.Fatalf("event %d has ID %d, want %d (IDs must be gapless and monotonic)", i, ev.ID, i+1)
+		}
+		if ev.Job != st.ID {
+			t.Fatalf("event %d belongs to %q, want %q", i, ev.Job, st.ID)
+		}
+	}
+	if evs[0].Type != api.EventQueued || evs[1].Type != api.EventRunning {
+		t.Fatalf("lifecycle starts %s, %s; want queued, running", evs[0].Type, evs[1].Type)
+	}
+	last := evs[len(evs)-1]
+	if last.Type != api.EventDone {
+		t.Fatalf("terminal event is %s, want done", last.Type)
+	}
+	var stages, progress int
+	for _, ev := range evs {
+		switch ev.Type {
+		case api.EventStage:
+			stages++
+		case api.EventProgress:
+			progress++
+		}
+	}
+	if stages == 0 || progress == 0 {
+		t.Fatalf("stream carried %d stage and %d progress events; want both", stages, progress)
+	}
+	final, err := cl.Status(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != server.StatusDone || final.Runs != last.Runs {
+		t.Fatalf("final status %s/%d runs does not match terminal event %d runs", final.Status, final.Runs, last.Runs)
+	}
+}
+
+// sseFetch reads a finished job's whole event stream over raw HTTP with an
+// optional Last-Event-ID, returning the SSE ids observed and the raw body.
+func sseFetch(t *testing.T, ts *httptest.Server, id, lastEventID string) ([]int64, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, "id: "); ok {
+			n, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q", line)
+			}
+			ids = append(ids, n)
+		}
+	}
+	return ids, string(body)
+}
+
+// TestEventStreamResume pins Last-Event-ID semantics: reconnecting with the
+// last seen ID replays exactly the suffix, nothing dropped, nothing twice.
+func TestEventStreamResume(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{StateDir: t.TempDir(), Workers: 2})
+	st := submit(t, ts, planRequest("mtron", "Granularity"))
+	waitFor(t, ts, st.ID, server.StatusDone)
+
+	all, _ := sseFetch(t, ts, st.ID, "")
+	if len(all) < 4 || all[0] != 1 {
+		t.Fatalf("full stream ids = %v", all)
+	}
+	mid := all[len(all)/2]
+	resumed, _ := sseFetch(t, ts, st.ID, strconv.FormatInt(mid, 10))
+	if len(resumed) != len(all)-int(mid) {
+		t.Fatalf("resume after %d returned %d events, want %d", mid, len(resumed), len(all)-int(mid))
+	}
+	for i, id := range resumed {
+		if id != mid+int64(i+1) {
+			t.Fatalf("resumed ids = %v, want the gapless suffix after %d", resumed, mid)
+		}
+	}
+	// Resuming past the end yields an empty, cleanly-closed stream.
+	tail, _ := sseFetch(t, ts, st.ID, strconv.FormatInt(all[len(all)-1], 10))
+	if len(tail) != 0 {
+		t.Fatalf("resume past the terminal event replayed %v", tail)
+	}
+	// An unparsable Last-Event-ID is a 400, not a silent full replay.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", "bogus")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus Last-Event-ID: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRestartDurability pins the durable-job guarantee: a daemon restarted
+// on the same job directory serves finished results byte-identically
+// (records, CSV, report, event history) and re-queues jobs the old process
+// never finished.
+func TestRestartDurability(t *testing.T) {
+	stateDir, jobDir := t.TempDir(), t.TempDir()
+	cfg := server.Config{StateDir: stateDir, JobDir: jobDir, Workers: 1}
+
+	srv1, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	finished := submit(t, ts1, planRequest("mtron", "Granularity"))
+	waitFor(t, ts1, finished.ID, server.StatusDone)
+	_, csvBefore := get(t, ts1, "/v1/jobs/"+finished.ID+"/csv")
+	_, reportBefore := get(t, ts1, "/v1/jobs/"+finished.ID+"/report")
+	_, resultBefore := get(t, ts1, "/v1/jobs/"+finished.ID+"/result")
+	_, eventsBefore := sseFetch(t, ts1, finished.ID, "")
+
+	// Leave one job mid-flight: with a single worker the second submission
+	// is still queued (or just started) when the daemon dies.
+	interruptedA := submit(t, ts1, slowPlanRequest())
+	interruptedB := submit(t, ts1, planRequest("mtron", "Order"))
+	ts1.Close()
+	srv1.Close()
+
+	srv2, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+
+	// The finished job must come back byte-identical on every artifact.
+	code, csvAfter := get(t, ts2, "/v1/jobs/"+finished.ID+"/csv")
+	if code != http.StatusOK || !bytes.Equal(csvBefore, csvAfter) {
+		t.Fatalf("restarted CSV: HTTP %d, identical=%v", code, bytes.Equal(csvBefore, csvAfter))
+	}
+	_, reportAfter := get(t, ts2, "/v1/jobs/"+finished.ID+"/report")
+	if !bytes.Equal(reportBefore, reportAfter) {
+		t.Fatal("restarted report differs")
+	}
+	_, resultAfter := get(t, ts2, "/v1/jobs/"+finished.ID+"/result")
+	if !bytes.Equal(resultBefore, resultAfter) {
+		t.Fatal("restarted result differs")
+	}
+	_, eventsAfter := sseFetch(t, ts2, finished.ID, "")
+	if eventsBefore != eventsAfter {
+		t.Fatalf("restarted event history differs:\nbefore: %q\nafter:  %q", eventsBefore, eventsAfter)
+	}
+
+	// The interrupted jobs re-queue and complete under the new process.
+	for _, id := range []string{interruptedA.ID, interruptedB.ID} {
+		done := waitFor(t, ts2, id, server.StatusDone)
+		if done.Runs == 0 {
+			t.Fatalf("re-queued job %s finished with no runs", id)
+		}
+	}
+	// The restarted daemon must not reuse IDs of recovered jobs.
+	fresh := submit(t, ts2, planRequest("mtron", "Alignment"))
+	for _, id := range []string{finished.ID, interruptedA.ID, interruptedB.ID} {
+		if fresh.ID == id {
+			t.Fatalf("restarted daemon reissued job ID %s", id)
+		}
+	}
+	waitFor(t, ts2, fresh.ID, server.StatusDone)
+}
+
+// TestTenantRateLimit: a tenant that exhausts its token bucket gets 429
+// rate_limited while a different tenant (and the anonymous one) submit
+// unimpeded — one tenant's burst must not affect another's admissions.
+func TestTenantRateLimit(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1, QueueSize: 16, RatePerSec: 0.0001, Burst: 2})
+	var rejected bool
+	for i := 0; i < 3; i++ {
+		_, code, errCode := submitKeyed(t, ts, "tenant-b", planRequest("mtron", "Order"))
+		switch code {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			if errCode != api.CodeRateLimited {
+				t.Fatalf("429 carried code %q, want rate_limited", errCode)
+			}
+			rejected = true
+		default:
+			t.Fatalf("tenant-b submit %d: HTTP %d", i, code)
+		}
+	}
+	if !rejected {
+		t.Fatal("tenant-b burst was never rate limited")
+	}
+	if _, code, errCode := submitKeyed(t, ts, "tenant-a", planRequest("mtron", "Order")); code != http.StatusAccepted {
+		t.Fatalf("tenant-a submit alongside tenant-b's burst: HTTP %d (%s), want 202", code, errCode)
+	}
+	if _, code, _ := submitKeyed(t, ts, "", planRequest("mtron", "Order")); code != http.StatusAccepted {
+		t.Fatalf("anonymous submit alongside tenant-b's burst: HTTP %d, want 202", code)
+	}
+}
+
+// TestTenantQueueQuota: a tenant may only hold TenantQueue jobs in the
+// pending queue; the excess gets 429 quota_exceeded while other tenants
+// keep their full quota.
+func TestTenantQueueQuota(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1, QueueSize: 16, TenantQueue: 1})
+	running, code, _ := submitKeyed(t, ts, "tenant-b", slowPlanRequest())
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: HTTP %d", code)
+	}
+	waitFor(t, ts, running.ID, server.StatusRunning, server.StatusDone)
+	if _, code, _ := submitKeyed(t, ts, "tenant-b", planRequest("mtron", "Order")); code != http.StatusAccepted {
+		t.Fatalf("tenant-b within quota: HTTP %d, want 202", code)
+	}
+	_, code, errCode := submitKeyed(t, ts, "tenant-b", planRequest("mtron", "Granularity"))
+	if code != http.StatusTooManyRequests || errCode != api.CodeQuotaExceeded {
+		t.Fatalf("tenant-b beyond quota: HTTP %d code %q, want 429 quota_exceeded", code, errCode)
+	}
+	if _, code, _ := submitKeyed(t, ts, "tenant-a", planRequest("mtron", "Order")); code != http.StatusAccepted {
+		t.Fatalf("tenant-a while tenant-b is at quota: HTTP %d, want 202", code)
+	}
+}
+
+// traceCSV renders a small deterministic block trace as CSV bytes.
+func traceCSV(t *testing.T) ([]byte, []workload.Op) {
+	t.Helper()
+	gen, err := workload.Spec{
+		Kind: "oltp", Count: 200, Seed: 7, PageSize: 8 * 1024,
+		TargetSize: testCapacity / 2, ReadFraction: 0.5,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := workload.WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), ops
+}
+
+// TestTraceUploadAndReplayJob uploads a trace, replays it by hash through a
+// workload job and pins the result against a direct in-process replay of the
+// same ops.
+func TestTraceUploadAndReplayJob(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 2})
+	cl := &client.Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	body, ops := traceCSV(t)
+
+	info, err := cl.UploadTrace(ctx, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Ops != len(ops) || info.Bytes != int64(len(body)) || len(info.Hash) != 64 {
+		t.Fatalf("upload info %+v, want %d ops, %d bytes, sha256 hash", info, len(ops), len(body))
+	}
+	again, err := cl.UploadTrace(ctx, body)
+	if err != nil || again.Hash != info.Hash {
+		t.Fatalf("re-upload: %+v, %v — want the same hash back", again, err)
+	}
+
+	fetched, err := cl.Trace(ctx, info.Hash)
+	if err != nil || !bytes.Equal(fetched, body) {
+		t.Fatalf("trace round-trip failed: %v", err)
+	}
+	list, err := cl.Traces(ctx)
+	if err != nil || len(list.Traces) != 1 || list.Traces[0].Hash != info.Hash {
+		t.Fatalf("trace list = %+v, %v", list, err)
+	}
+
+	st, err := cl.Submit(ctx, api.JobRequest{
+		Kind:     "workload",
+		Device:   "kingston-dti",
+		Capacity: testCapacity,
+		Seed:     42,
+		Parallel: 2,
+		Workload: &api.WorkloadRequest{TraceHash: info.Hash, SegmentOps: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cl.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != server.StatusDone {
+		t.Fatalf("trace job %s: %s", final.Status, final.Error)
+	}
+	csv, err := cl.CSV(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := workload.Generate(ctx,
+		workload.Trace{Label: info.Hash[:12], Ops: ops},
+		paperexp.ShardFactory("kingston-dti", paperexp.Config{Capacity: testCapacity, Seed: 42, Pause: time.Second}),
+		workload.Options{SegmentOps: 100, Workers: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderWorkloadCSV(t, res)
+	if !bytes.Equal(csv, want) {
+		t.Fatal("trace job CSV differs from the direct replay of the same ops")
+	}
+
+	// Referencing a hash nobody uploaded is a 400 at submission.
+	_, err = cl.Submit(ctx, api.JobRequest{
+		Kind:     "workload",
+		Device:   "kingston-dti",
+		Capacity: testCapacity,
+		Workload: &api.WorkloadRequest{TraceHash: strings.Repeat("ab", 32)},
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest || apiErr.Err.Code != api.CodeBadRequest {
+		t.Fatalf("unknown hash submit: %v, want 400 bad_request", err)
+	}
+}
+
+// TestTraceUploadBounds: oversize uploads are 413 payload_too_large, garbage
+// is 400 — both as typed envelopes.
+func TestTraceUploadBounds(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1, MaxTraceBytes: 128})
+	cl := &client.Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	body, _ := traceCSV(t) // well over 128 bytes
+
+	_, err := cl.UploadTrace(ctx, body)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusRequestEntityTooLarge || apiErr.Err.Code != api.CodeTooLarge {
+		t.Fatalf("oversize upload: %v, want 413 payload_too_large", err)
+	}
+	_, err = cl.UploadTrace(ctx, []byte("not,a\ntrace"))
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("garbage upload: %v, want 400", err)
+	}
+}

@@ -98,6 +98,39 @@ func Create(path string) (*os.File, error) {
 	return os.Create(path)
 }
 
+// WriteFileAtomic writes data to path with the crash discipline durable
+// artifacts need: the bytes land in a temporary file in the destination
+// directory, are fsynced to stable storage, and only then renamed into
+// place. A reader therefore observes either the previous content or the
+// complete new content — never a torn write — and a crash between fsync and
+// rename leaves at worst a stray temporary file, not a corrupt artifact.
+// Missing parent directories are created.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
 // SaveJSON writes records to a file, creating parent directories.
 func SaveJSON(path string, records []RunRecord) error {
 	f, err := Create(path)
