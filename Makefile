@@ -22,11 +22,15 @@ bench:
 
 # Machine-readable benchmark results: the same smoke run streamed as
 # test2json events into BENCH_<date>.json, for tracking results over time.
+# The HTTP-layer admission benchmark is appended to the same stream so daemon
+# throughput and p99 admission latency are recorded (reported, not gated).
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json . > BENCH_$$(date +%Y%m%d).json
+	$(GO) test -run '^$$' -bench BenchmarkJobAdmission -benchtime 1x -json ./internal/server >> BENCH_$$(date +%Y%m%d).json
 
 # Compare the latest bench-json output against the committed baseline; fails
-# on >20% ns/op regression of the pinned benchmarks (EngineSpeedup, Table3).
+# on >20% ns/op regression of the pinned benchmarks (EngineSpeedup, Table3,
+# SubmitBatch, ReplayParallel).
 # The newest dated file is picked by mtime so a run spanning midnight still
 # compares what bench-json just wrote.
 bench-check: bench-json
@@ -41,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadTrace$$' -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSummaryCSV$$' -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzReadRTSeriesCSV$$' -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzSubmitBatchEquivalence$$' -fuzztime $(FUZZTIME) ./internal/device
 
 # Compile every cmd/* and examples/* binary so example drift breaks the
 # build instead of rotting silently.

@@ -37,6 +37,7 @@ import (
 	"uflip/internal/paperexp"
 	"uflip/internal/profile"
 	"uflip/internal/statestore"
+	"uflip/internal/workload"
 )
 
 // benchState is the state store every benchmark in this file shares: each
@@ -505,6 +506,76 @@ func deviceName(prefix string, n int) string {
 }
 
 // --- Engine: parallel plan execution. ---
+
+// BenchmarkSubmitBatch measures the batch-first submit path in isolation:
+// 128-IO chained write batches against the Memoright profile, the device
+// stack the executors drive in every plan run. ns/op is the cost of one full
+// batch (bus, write cache, page FTL, flash array); the steady state runs at
+// 0 allocs per batch (TestSubmitBatchZeroAlloc pins this).
+func BenchmarkSubmitBatch(b *testing.B) {
+	dev, err := profile.BuildDevice("memoright", 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 128
+	ios := make([]device.IO, batch)
+	done := make([]time.Duration, batch)
+	for i := range ios {
+		// Rewrites focused inside the write buffer: the executors' common
+		// steady state, with cache admission and periodic destaging live.
+		ios[i] = device.IO{Mode: device.Write, Off: int64(i) % 16 * 128 * 1024, Size: 32 * 1024}
+	}
+	var at time.Duration
+	submit := func() {
+		for j := range done {
+			done[j] = device.ChainNext
+		}
+		if err := dev.SubmitBatch(at, ios, done); err != nil {
+			b.Fatal(err)
+		}
+		at = done[batch-1]
+	}
+	for i := 0; i < 64; i++ {
+		submit() // warm past free-pool drain and cache fill
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submit()
+	}
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "ios/s")
+}
+
+// BenchmarkReplayParallel replays a 100k-op OLTP stream through the engine
+// at GOMAXPROCS workers — the workload-path companion to BenchmarkTable3 for
+// the batch pipeline's wall-clock. The master device is enforced once before
+// the timer starts; each iteration is pure segment replay over clones.
+func BenchmarkReplayParallel(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Capacity = 256 << 20
+	gen := workload.OLTP{PageSize: 8192, TargetSize: cfg.Capacity / 2, ReadFraction: 0.7, Count: 100_000, Seed: cfg.Seed}
+	ops, err := gen.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := paperexp.ShardFactory("memoright", cfg)
+	if _, _, err := factory(engine.Shard{}); err != nil { // warm the master
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := workload.ReplayParallel(context.Background(), gen.Name(), ops, factory, workload.Options{
+			SegmentOps: 12500,
+			Workers:    runtime.GOMAXPROCS(0),
+			Seed:       cfg.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Total.Mean*1e3, "mean-ms")
+		b.ReportMetric(res.P99.Seconds()*1e3, "p99-ms")
+	}
+}
 
 // BenchmarkEngineSpeedup measures the wall-clock scaling of the parallel
 // engine on a fixed 16-run plan against the simulated Memoright. The state

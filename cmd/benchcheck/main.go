@@ -2,7 +2,9 @@
 // `make bench-json` (go test -json streams) and fails when a pinned
 // benchmark regressed by more than the allowed fraction. It is the guard CI
 // runs against the committed BENCH_baseline.json so the performance the
-// snapshot/clone engine bought cannot silently rot.
+// snapshot/clone engine and the batch-first submit path bought cannot
+// silently rot: the default pins cover the plan path (Table3, EngineSpeedup)
+// and the batch pipeline (SubmitBatch, ReplayParallel).
 //
 // Usage:
 //
@@ -104,7 +106,7 @@ func parseBenchLine(s string) (name string, nsPerOp float64, ok bool) {
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline go test -json benchmark file")
-		pins         = flag.String("pin", "BenchmarkEngineSpeedup,BenchmarkTable3", "comma-separated benchmark-name prefixes that must not regress")
+		pins         = flag.String("pin", "BenchmarkEngineSpeedup,BenchmarkTable3,BenchmarkSubmitBatch,BenchmarkReplayParallel", "comma-separated benchmark-name prefixes that must not regress")
 		maxRegress   = flag.Float64("max-regress", 0.20, "maximum allowed fractional ns/op regression of a pinned benchmark")
 	)
 	flag.Parse()

@@ -14,19 +14,34 @@
 // selected with the uflip command's -parallel flag (-parallel 1 is the
 // sequential fallback; any worker count produces identical results).
 //
-// Performance: the whole simulation stack snapshots — flash chips, arrays,
-// every translation layer and the simulated device itself expose deep
-// Clone() — so the engine enforces the paper's well-defined device state
+// Performance: the IO pipeline is batch-first. device.Device exposes
+// SubmitBatch(at, ios, done) next to the per-IO Submit: callers hand over
+// a slice of IOs plus a reused done scratch slice (absolute submission
+// times, or ChainNext/ChainAfter to chain each IO on its predecessor's
+// completion) and the simulator services the whole batch in one virtual
+// call with zero allocations — SimDevice and CompositeDevice implement it
+// natively, and the pattern executor, state enforcement, workload
+// replayer and array sweeps all submit fixed-size batches from reused
+// buffers. The per-IO path survives as the reference implementation:
+// device.SerialSubmitBatch and the device.NewPerIO wrapper force batches
+// through Submit one IO at a time, and differential oracles (a device
+// fuzz target plus full-plan, array and workload CSV byte-identity tests
+// in internal/paperexp) pin the two paths identical. On top of that, the
+// whole simulation stack snapshots — flash chips, arrays, every
+// translation layer and the simulated device itself expose deep Clone()
+// — so the engine enforces the paper's well-defined device state
 // (Section 4.1) once per (profile, capacity, seed) master and hands every
 // shard a clone instead of replaying the enforcement IOs; tests pin the
-// clone path byte-identical to rebuilding per shard. The per-IO path is
+// clone path byte-identical to rebuilding per shard. The hot path is
 // allocation-free in steady state (generic zero-boxing heaps replace
-// container/heap, map bookkeeping runs on a fixed ring, SimDevice.Submit
-// is pinned at 0 allocs/op), and stats.Percentiles derives any number of
-// quantiles from one sort. Profile any run with the uflip command's
-// -cpuprofile/-memprofile flags; track the benchmark trajectory with
-// "make bench-json" and gate regressions with "make bench-check"
-// (cmd/benchcheck against the committed BENCH_baseline.json).
+// container/heap, map bookkeeping runs on a fixed ring, both
+// SimDevice.Submit and the 128-IO SubmitBatch are pinned at 0 allocs/op),
+// and stats.Percentiles derives any number of quantiles from one sort.
+// Profile any run with the uflip command's -cpuprofile/-memprofile flags;
+// track the benchmark trajectory with "make bench-json" and gate
+// regressions with "make bench-check" (cmd/benchcheck against the
+// committed BENCH_baseline.json, pinning Table3, EngineSpeedup,
+// SubmitBatch and ReplayParallel).
 //
 // Beyond the paper's micro-benchmarks, the workload subsystem
 // (internal/workload, surfaced as "uflip workload") drives the simulated

@@ -1,12 +1,37 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"uflip/internal/device"
 	"uflip/internal/stats"
 )
+
+// batchSize is how many IOs the executors hand the device per SubmitBatch
+// call. The scratch lives in fixed-size stack buffers — per-shard by
+// construction, no sync.Pool — so the steady-state loop stays at 0
+// allocs/op while the per-IO virtual-call overhead is amortized across the
+// batch.
+const batchSize = 128
+
+// batchScratch is the fixed submission scratch of one executor frame.
+type batchScratch struct {
+	ios  [batchSize]device.IO
+	done [batchSize]time.Duration
+}
+
+// submitErr rewraps a device.BatchError with the caller's IO numbering (the
+// batch's base index added) so error messages match the per-IO path.
+func submitErr(prefix string, base int, err error) error {
+	var be *device.BatchError
+	if errors.As(err, &be) {
+		i := base + be.Index
+		return fmt.Errorf("%s IO %d (%s off=%d size=%d): %w", prefix, i, be.IO.Mode, be.IO.Off, be.IO.Size, be.Err)
+	}
+	return fmt.Errorf("%s %w", prefix, err)
+}
 
 // Run is the result of executing a reference pattern against a device once
 // (design principle 1 of Section 3.2): the per-IO response times plus the
@@ -74,27 +99,52 @@ func Execute(dev device.Device, src IOSource, count, ignore int, timing Timing, 
 		SubmitTimes: make([]time.Duration, 0, count),
 		IOIgnore:    ignore,
 	}
+	// Closed-loop batch submission: IO i+1 goes in at the completion of IO
+	// i plus the methodology gap, encoded per entry so the whole batch is
+	// one SubmitBatch call. The scratch buffers are fixed-size stack
+	// arrays — per-run (and therefore per-shard), never shared or pooled.
 	t := startAt
 	var acc stats.Running
-	for i := 0; i < count; i++ {
-		io, ok := src.Next()
-		if !ok {
+	var scratch batchScratch
+	for base, exhausted := 0, false; base < count && !exhausted; {
+		n := 0
+		for base+n < count && n < batchSize {
+			io, ok := src.Next()
+			if !ok {
+				exhausted = true
+				break
+			}
+			scratch.ios[n] = io
+			gap := time.Duration(0)
+			if base+n > 0 {
+				gap = timing.gapBefore(base + n)
+			}
+			scratch.done[n] = device.ChainAfter(gap)
+			n++
+		}
+		if n == 0 {
 			break
 		}
-		if i > 0 {
-			t += timing.gapBefore(i)
+		if err := dev.SubmitBatch(t, scratch.ios[:n], scratch.done[:n]); err != nil {
+			return nil, submitErr("core:", base, err)
 		}
-		done, err := dev.Submit(t, io)
-		if err != nil {
-			return nil, fmt.Errorf("core: IO %d (%s off=%d size=%d): %w", i, io.Mode, io.Off, io.Size, err)
+		prev := t
+		for k := 0; k < n; k++ {
+			sub := prev
+			if base+k > 0 {
+				sub += timing.gapBefore(base + k)
+			}
+			done := scratch.done[k]
+			rt := done - sub
+			run.RTs = append(run.RTs, rt)
+			run.SubmitTimes = append(run.SubmitTimes, sub)
+			if base+k >= ignore {
+				acc.AddDuration(rt)
+			}
+			prev = done
 		}
-		rt := done - t
-		run.RTs = append(run.RTs, rt)
-		run.SubmitTimes = append(run.SubmitTimes, t)
-		if i >= ignore {
-			acc.AddDuration(rt)
-		}
-		t = done
+		t = prev
+		base += n
 	}
 	if len(run.RTs) == 0 {
 		return nil, fmt.Errorf("core: source produced no IOs")

@@ -100,6 +100,38 @@ func TestSubmitReadZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSubmitBatchZeroAlloc pins the steady-state batch path at 0 allocs per
+// 128-IO chained batch: SubmitBatch works entirely in the caller's ios/done
+// slices, so the executors' fixed scratch buffers are the only storage the
+// hot loop ever touches.
+func TestSubmitBatchZeroAlloc(t *testing.T) {
+	dev := buildBareSim(t)
+	const batch = 128
+	ios := make([]device.IO, batch)
+	done := make([]time.Duration, batch)
+	for i := range ios {
+		ios[i] = device.IO{Mode: device.Write, Off: 0, Size: 32 * 1024}
+	}
+	var at time.Duration
+	submit := func() {
+		for j := range done {
+			done[j] = device.ChainNext
+		}
+		if err := dev.SubmitBatch(at, ios, done); err != nil {
+			t.Fatal(err)
+		}
+		at = done[batch-1]
+	}
+	// Warm up past free-pool drain, heap growth and GC start-up.
+	for i := 0; i < 64; i++ {
+		submit()
+	}
+	allocs := testing.AllocsPerRun(200, submit)
+	if allocs != 0 {
+		t.Fatalf("steady-state SubmitBatch allocates %.2f times per batch, want 0", allocs)
+	}
+}
+
 // cloneIO returns IO i of the deterministic mixed sequence the device-level
 // clone test replays.
 func cloneIO(i int, capacity int64) device.IO {

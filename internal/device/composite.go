@@ -388,6 +388,35 @@ func (d *CompositeDevice) pickMirrorRead() int {
 // fragments, the fragments are dispatched serially through the bounded
 // per-member queues, and the IO completes when the slowest fragment does.
 func (d *CompositeDevice) Submit(at time.Duration, io IO) (time.Duration, error) {
+	return d.service(at, io)
+}
+
+// SubmitBatch services a slice of IOs in one call (see Device.SubmitBatch
+// for the done encoding): the whole batch is fragmented through the shared
+// split scratch and drained through the per-member queues in one
+// deterministic dispatcher pass. The dispatch clock, queue rings and mirror
+// scheduling evolve exactly as under per-IO Submit — each IO's fragments
+// still dispatch in ascending first-logical-byte order before the next IO's
+// — so completions are byte-identical to the per-IO path.
+func (d *CompositeDevice) SubmitBatch(at time.Duration, ios []IO, done []time.Duration) error {
+	if err := checkBatch(ios, done); err != nil {
+		return err
+	}
+	prev := at
+	for i := range ios {
+		end, err := d.service(resolveSubmit(done[i], prev), ios[i])
+		if err != nil {
+			return &BatchError{Index: i, IO: ios[i], Err: err}
+		}
+		done[i] = end
+		prev = end
+	}
+	return nil
+}
+
+// service is the shared body of Submit and SubmitBatch: one IO through the
+// fragment dispatcher.
+func (d *CompositeDevice) service(at time.Duration, io IO) (time.Duration, error) {
 	if err := checkIO(io, d.capacity); err != nil {
 		return 0, err
 	}

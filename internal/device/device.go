@@ -13,6 +13,7 @@ package device
 
 import (
 	"errors"
+	"fmt"
 	"time"
 )
 
@@ -55,8 +56,27 @@ var (
 // processes coordinated by the parallel runner, which still submits in
 // global time order. Implementations may queue: completion-at is at least
 // `at` plus the service time, later if the device was busy.
+//
+// SubmitBatch services a whole slice of IOs in one call — the batch-first
+// hot path the executors use. done is an in/out parameter of the same
+// length as ios: on entry done[i] encodes IO i's submission time, on return
+// it holds IO i's completion time. Two encodings cover both execution
+// styles of the methodology:
+//
+//   - done[i] >= 0: IO i is submitted at the absolute time done[i]
+//     (open-loop, arrival times known a priori — trace replay).
+//   - done[i] < 0: IO i is submitted at the completion time of IO i-1
+//     (`at` for i == 0) plus the closed-loop gap -done[i]-1. ChainNext
+//     submits back-to-back; ChainAfter(gap) encodes pause/burst gaps.
+//
+// The contract every implementation must honor — and the differential
+// oracle the tests pin — is that SubmitBatch is byte-identical to resolving
+// each submission time the same way and calling Submit once per IO. A
+// failing IO aborts the batch with a *BatchError carrying its index; the
+// completions of every earlier IO are already in done.
 type Device interface {
 	Submit(at time.Duration, io IO) (time.Duration, error)
+	SubmitBatch(at time.Duration, ios []IO, done []time.Duration) error
 	// Capacity returns the device's logical size in bytes.
 	Capacity() int64
 	// SectorSize returns the addressing granularity in bytes (512 for
@@ -64,6 +84,124 @@ type Device interface {
 	SectorSize() int
 	// Name identifies the device in reports.
 	Name() string
+}
+
+// ChainNext is the done[i] input value that submits IO i at the completion
+// of the previous IO (at `at` for the batch's first IO) with no gap — the
+// closed-loop submission of core.Execute.
+const ChainNext = time.Duration(-1)
+
+// ChainAfter encodes a closed-loop submission with a pause: IO i is
+// submitted gap after the previous IO's completion. ChainAfter(0) ==
+// ChainNext. gap must be non-negative.
+func ChainAfter(gap time.Duration) time.Duration { return -gap - 1 }
+
+// resolveSubmit decodes a done[i] input value into the absolute submission
+// time, given the previous IO's completion (or the batch's `at` for i == 0).
+func resolveSubmit(in, prev time.Duration) time.Duration {
+	if in >= 0 {
+		return in
+	}
+	return prev + (-in - 1)
+}
+
+// BatchError reports which IO of a SubmitBatch failed, wrapping the
+// underlying device error. Callers that report per-IO context unwrap it via
+// errors.As.
+type BatchError struct {
+	// Index is the position of the failing IO within the batch.
+	Index int
+	// IO is the failing request.
+	IO IO
+	// Err is the device's error.
+	Err error
+}
+
+// Error formats the batch position and the underlying error.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("batch IO %d (%s off=%d size=%d): %v", e.Index, e.IO.Mode, e.IO.Off, e.IO.Size, e.Err)
+}
+
+// Unwrap returns the underlying device error.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// checkBatch validates the ios/done pairing every SubmitBatch requires.
+func checkBatch(ios []IO, done []time.Duration) error {
+	if len(ios) != len(done) {
+		return fmt.Errorf("device: batch has %d IOs but %d done slots", len(ios), len(done))
+	}
+	return nil
+}
+
+// SerialSubmitBatch implements the SubmitBatch contract with one Submit call
+// per IO. It is the fallback for devices without a native batch path
+// (MemDevice, FileDevice) and the reference implementation the equivalence
+// tests compare native batch paths against.
+func SerialSubmitBatch(d Device, at time.Duration, ios []IO, done []time.Duration) error {
+	if err := checkBatch(ios, done); err != nil {
+		return err
+	}
+	prev := at
+	for i := range ios {
+		end, err := d.Submit(resolveSubmit(done[i], prev), ios[i])
+		if err != nil {
+			return &BatchError{Index: i, IO: ios[i], Err: err}
+		}
+		done[i] = end
+		prev = end
+	}
+	return nil
+}
+
+// PerIO wraps a device so its SubmitBatch degrades to the serial per-IO
+// loop, hiding any native batch path. The executors behave identically over
+// a PerIO-wrapped device — that is the differential oracle pinning the
+// batch pipeline byte-identical to one-virtual-call-per-IO.
+type PerIO struct {
+	Inner Device
+}
+
+// NewPerIO wraps dev in the per-IO oracle.
+func NewPerIO(dev Device) *PerIO { return &PerIO{Inner: dev} }
+
+// Submit forwards to the wrapped device.
+func (p *PerIO) Submit(at time.Duration, io IO) (time.Duration, error) {
+	return p.Inner.Submit(at, io)
+}
+
+// SubmitBatch always takes the serial per-IO path.
+func (p *PerIO) SubmitBatch(at time.Duration, ios []IO, done []time.Duration) error {
+	return SerialSubmitBatch(p.Inner, at, ios, done)
+}
+
+// Capacity forwards to the wrapped device.
+func (p *PerIO) Capacity() int64 { return p.Inner.Capacity() }
+
+// SectorSize forwards to the wrapped device.
+func (p *PerIO) SectorSize() int { return p.Inner.SectorSize() }
+
+// Name forwards to the wrapped device.
+func (p *PerIO) Name() string { return p.Inner.Name() }
+
+// CloneDevice clones the wrapped device and re-wraps it, so PerIO devices
+// flow through the engine's cloning masters like any simulated device. It
+// panics if the wrapped device is not cloneable, exactly like the composite.
+func (p *PerIO) CloneDevice() Device {
+	c, ok := p.Inner.(Cloneable)
+	if !ok {
+		panic(fmt.Sprintf("device: per-IO wrapped device %s is not cloneable", p.Inner.Name()))
+	}
+	return &PerIO{Inner: c.CloneDevice()}
+}
+
+// Drain forwards to the wrapped device so inter-experiment quiescing sees
+// through the wrapper; devices without a Drain report their last completion
+// through the executors as before.
+func (p *PerIO) Drain() time.Duration {
+	if dr, ok := p.Inner.(interface{ Drain() time.Duration }); ok {
+		return dr.Drain()
+	}
+	return 0
 }
 
 // Cloneable is a Device whose full state can be snapshotted. CloneDevice

@@ -90,6 +90,13 @@ func (d *FileDevice) Close() error {
 	return err
 }
 
+// SubmitBatch executes the IOs one at a time: a real file is measured with
+// the wall clock, so there is nothing to amortize — the serial reference
+// path is the batch path.
+func (d *FileDevice) SubmitBatch(at time.Duration, ios []IO, done []time.Duration) error {
+	return SerialSubmitBatch(d, at, ios, done)
+}
+
 // Submit waits until run-relative instant at, executes the IO, and returns
 // the run-relative completion time.
 func (d *FileDevice) Submit(at time.Duration, io IO) (time.Duration, error) {

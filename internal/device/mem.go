@@ -52,6 +52,13 @@ func (d *MemDevice) CloneDevice() Device {
 	return &g
 }
 
+// SubmitBatch services the IOs one at a time — the constant-cost device has
+// no per-IO dispatch overhead worth amortizing, so the serial reference
+// path is also its batch path.
+func (d *MemDevice) SubmitBatch(at time.Duration, ios []IO, done []time.Duration) error {
+	return SerialSubmitBatch(d, at, ios, done)
+}
+
 // Submit services one IO with the configured constant costs.
 func (d *MemDevice) Submit(at time.Duration, io IO) (time.Duration, error) {
 	if err := checkIO(io, d.capacity); err != nil {

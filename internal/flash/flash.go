@@ -140,7 +140,6 @@ type blockState struct {
 	eraseCount int
 	nextPage   int // next programmable page index (sequential constraint)
 	bad        bool
-	pages      []PageState
 }
 
 // Stats aggregates chip-level counters, useful for wear-leveling tests and
@@ -160,12 +159,20 @@ type Chip struct {
 	cell   CellType
 
 	blocks []blockState
-	stats  Stats
+	// pages holds every page's state in one flat slice indexed
+	// block*PagesPerBlock+page, so cloning the chip is two bulk copies
+	// instead of one allocation per block.
+	pages []PageState
+	stats Stats
 
 	// cachedBlock/cachedPage track the page currently held in the page
 	// register of each plane; re-reading it skips the cell-array read.
 	cachedBlock []int
 	cachedPage  []int
+
+	// transfer is the register <-> controller time for one page plus OOB,
+	// precomputed from the timing so the per-IO paths do not multiply.
+	transfer time.Duration
 
 	// data holds page payloads when storeData is enabled.
 	storeData bool
@@ -199,6 +206,7 @@ func NewChip(geo Geometry, cell CellType, opts ...Option) (*Chip, error) {
 		timing:      TypicalTiming(cell),
 		cell:        cell,
 		blocks:      make([]blockState, geo.Blocks),
+		pages:       make([]PageState, int64(geo.Blocks)*int64(geo.PagesPerBlock)),
 		cachedBlock: make([]int, geo.Planes),
 		cachedPage:  make([]int, geo.Planes),
 	}
@@ -206,12 +214,10 @@ func NewChip(geo Geometry, cell CellType, opts ...Option) (*Chip, error) {
 		c.cachedBlock[p] = -1
 		c.cachedPage[p] = -1
 	}
-	for i := range c.blocks {
-		c.blocks[i].pages = make([]PageState, geo.PagesPerBlock)
-	}
 	for _, opt := range opts {
 		opt(c)
 	}
+	c.transfer = time.Duration(geo.PageSize+geo.OOBSize) * c.timing.PerByte
 	return c, nil
 }
 
@@ -222,11 +228,8 @@ func NewChip(geo Geometry, cell CellType, opts ...Option) (*Chip, error) {
 // identical durations, errors and stats.
 func (c *Chip) Clone() *Chip {
 	g := *c
-	g.blocks = make([]blockState, len(c.blocks))
-	for i, b := range c.blocks {
-		b.pages = append([]PageState(nil), b.pages...)
-		g.blocks[i] = b
-	}
+	g.blocks = append([]blockState(nil), c.blocks...)
+	g.pages = append([]PageState(nil), c.pages...)
 	g.cachedBlock = append([]int(nil), c.cachedBlock...)
 	g.cachedPage = append([]int(nil), c.cachedPage...)
 	if c.storeData {
@@ -285,7 +288,7 @@ func (c *Chip) PageStateAt(block, page int) (PageState, error) {
 	if err := c.checkAddr(block, page); err != nil {
 		return 0, err
 	}
-	return c.blocks[block].pages[page], nil
+	return c.pages[c.pageIndex(block, page)], nil
 }
 
 // NextProgramPage returns the next page index that may be programmed in the
@@ -321,7 +324,7 @@ func (c *Chip) ReadPage(block, page int) (time.Duration, error) {
 	if b.bad {
 		return 0, ErrBadBlock
 	}
-	if b.pages[page] != PageProgrammed {
+	if c.pages[c.pageIndex(block, page)] != PageProgrammed {
 		return 0, ErrReadErased
 	}
 	c.stats.Reads++
@@ -332,7 +335,7 @@ func (c *Chip) ReadPage(block, page int) (time.Duration, error) {
 		c.cachedBlock[plane] = block
 		c.cachedPage[plane] = page
 	}
-	d += time.Duration(c.geo.PageSize+c.geo.OOBSize) * c.timing.PerByte
+	d += c.transfer
 	return d, nil
 }
 
@@ -347,7 +350,7 @@ func (c *Chip) ReadData(block, page int) ([]byte, error) {
 	if err := c.checkAddr(block, page); err != nil {
 		return nil, err
 	}
-	if c.blocks[block].pages[page] != PageProgrammed {
+	if c.pages[c.pageIndex(block, page)] != PageProgrammed {
 		return nil, ErrReadErased
 	}
 	return c.data[c.pageIndex(block, page)], nil
@@ -364,7 +367,7 @@ func (c *Chip) ProgramPage(block, page int, payload []byte) (time.Duration, erro
 	if b.bad {
 		return 0, ErrBadBlock
 	}
-	if b.pages[page] != PageErased {
+	if c.pages[c.pageIndex(block, page)] != PageErased {
 		return 0, ErrNotErased
 	}
 	if page != b.nextPage {
@@ -373,7 +376,7 @@ func (c *Chip) ProgramPage(block, page int, payload []byte) (time.Duration, erro
 	if len(payload) > c.geo.PageSize {
 		return 0, ErrPayloadTooLong
 	}
-	b.pages[page] = PageProgrammed
+	c.pages[c.pageIndex(block, page)] = PageProgrammed
 	b.nextPage++
 	c.stats.Programs++
 	if c.storeData {
@@ -392,7 +395,7 @@ func (c *Chip) ProgramPage(block, page int, payload []byte) (time.Duration, erro
 	// Invalidate the register if it held a page of this plane.
 	plane := c.geo.Plane(block)
 	c.cachedBlock[plane], c.cachedPage[plane] = -1, -1
-	d := time.Duration(c.geo.PageSize+c.geo.OOBSize)*c.timing.PerByte + c.timing.ProgramPage
+	d := c.transfer + c.timing.ProgramPage
 	return d, nil
 }
 
@@ -413,9 +416,8 @@ func (c *Chip) EraseBlock(block int) (time.Duration, error) {
 		b.bad = true
 		return c.timing.EraseBlock, ErrWornOut
 	}
-	for i := range b.pages {
-		b.pages[i] = PageErased
-	}
+	base := c.pageIndex(block, 0)
+	clear(c.pages[base : base+int64(c.geo.PagesPerBlock)]) // PageErased is the zero state
 	b.nextPage = 0
 	// Payload buffers are kept (the page state already marks them stale) so
 	// the next program of the page can overwrite them in place.

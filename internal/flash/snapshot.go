@@ -38,12 +38,14 @@ func (c *Chip) Snapshot() *ChipSnapshot {
 		CachedBlock: append([]int(nil), c.cachedBlock...),
 		CachedPage:  append([]int(nil), c.cachedPage...),
 	}
+	ppb := int64(c.geo.PagesPerBlock)
 	for i, b := range c.blocks {
+		base := int64(i) * ppb
 		s.Blocks[i] = BlockSnapshot{
 			EraseCount: b.eraseCount,
 			NextPage:   b.nextPage,
 			Bad:        b.bad,
-			Pages:      append([]PageState(nil), b.pages...),
+			Pages:      append([]PageState(nil), c.pages[base:base+ppb]...),
 		}
 	}
 	if c.storeData {
@@ -82,13 +84,14 @@ func (c *Chip) Restore(s *ChipSnapshot) error {
 			return fmt.Errorf("flash: snapshot block %d has %d pages, want %d", i, len(s.Blocks[i].Pages), c.geo.PagesPerBlock)
 		}
 	}
+	ppb := int64(c.geo.PagesPerBlock)
 	for i, b := range s.Blocks {
 		c.blocks[i] = blockState{
 			eraseCount: b.EraseCount,
 			nextPage:   b.NextPage,
 			bad:        b.Bad,
-			pages:      append([]PageState(nil), b.Pages...),
 		}
+		copy(c.pages[int64(i)*ppb:(int64(i)+1)*ppb], b.Pages)
 	}
 	c.stats = s.Stats
 	copy(c.cachedBlock, s.CachedBlock)

@@ -17,6 +17,7 @@ type Array struct {
 	chips         []*flash.Chip
 	geo           flash.Geometry
 	blocksPerChip int
+	totalBlocks   int
 }
 
 // NewArray builds an array over chips, which must share one geometry.
@@ -30,7 +31,7 @@ func NewArray(chips []*flash.Chip) (*Array, error) {
 			return nil, fmt.Errorf("ftl: chip %d geometry differs from chip 0", i)
 		}
 	}
-	return &Array{chips: chips, geo: geo, blocksPerChip: geo.Blocks}, nil
+	return &Array{chips: chips, geo: geo, blocksPerChip: geo.Blocks, totalBlocks: geo.Blocks * len(chips)}, nil
 }
 
 // NewUniformArray is a convenience constructor building nChips identical
@@ -73,7 +74,7 @@ func (a *Array) Clone() *Array {
 	for i, c := range a.chips {
 		chips[i] = c.Clone()
 	}
-	return &Array{chips: chips, geo: a.geo, blocksPerChip: a.blocksPerChip}
+	return &Array{chips: chips, geo: a.geo, blocksPerChip: a.blocksPerChip, totalBlocks: a.totalBlocks}
 }
 
 // Geometry returns the shared per-chip geometry.
@@ -83,7 +84,7 @@ func (a *Array) Geometry() flash.Geometry { return a.geo }
 func (a *Array) Chips() int { return len(a.chips) }
 
 // Blocks returns the total number of flash blocks across all chips.
-func (a *Array) Blocks() int { return a.blocksPerChip * len(a.chips) }
+func (a *Array) Blocks() int { return a.totalBlocks }
 
 // RawCapacity returns total raw flash bytes across the array.
 func (a *Array) RawCapacity() int64 {
@@ -91,8 +92,11 @@ func (a *Array) RawCapacity() int64 {
 }
 
 func (a *Array) locate(gb int) (*flash.Chip, int, error) {
-	if gb < 0 || gb >= a.Blocks() {
+	if gb < 0 || gb >= a.totalBlocks {
 		return nil, 0, flash.ErrOutOfRange
+	}
+	if len(a.chips) == 1 {
+		return a.chips[0], gb, nil
 	}
 	return a.chips[gb/a.blocksPerChip], gb % a.blocksPerChip, nil
 }

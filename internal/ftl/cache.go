@@ -1,7 +1,6 @@
 package ftl
 
 import (
-	"container/list"
 	"fmt"
 	"time"
 )
@@ -78,10 +77,74 @@ func (c CacheConfig) validate() error {
 
 type cacheRegion struct {
 	id      int64
-	lines   map[int64]struct{} // dirty line indexes within the region
-	maxLine int64              // highest dirty line so far
+	lines   []uint64 // dirty-line bitset, bit l = line l within the region
+	nlines  int64    // population count of lines
+	maxLine int64    // highest dirty line so far
 	stream  bool
-	elem    *list.Element // element in streamLRU or zoneLRU
+	// prev/next are the intrusive links of the LRU chain the region is on
+	// (streamLRU or zoneLRU); next doubles as the freelist link when the
+	// region is not resident.
+	prev, next *cacheRegion
+}
+
+func (r *cacheRegion) dirty(line int64) bool {
+	return r.lines[line>>6]&(1<<(uint(line)&63)) != 0
+}
+
+// regionList is an intrusive doubly-linked LRU chain (front = MRU). Using the
+// regions' own links instead of container/list keeps the write hot path free
+// of per-element allocations.
+type regionList struct {
+	front, back *cacheRegion
+	n           int
+}
+
+// Len returns the number of regions on the chain.
+func (l *regionList) Len() int { return l.n }
+
+func (l *regionList) pushFront(r *cacheRegion) {
+	r.prev, r.next = nil, l.front
+	if l.front != nil {
+		l.front.prev = r
+	} else {
+		l.back = r
+	}
+	l.front = r
+	l.n++
+}
+
+func (l *regionList) pushBack(r *cacheRegion) {
+	r.prev, r.next = l.back, nil
+	if l.back != nil {
+		l.back.next = r
+	} else {
+		l.front = r
+	}
+	l.back = r
+	l.n++
+}
+
+func (l *regionList) remove(r *cacheRegion) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		l.front = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		l.back = r.prev
+	}
+	r.prev, r.next = nil, nil
+	l.n--
+}
+
+func (l *regionList) moveToFront(r *cacheRegion) {
+	if l.front == r {
+		return
+	}
+	l.remove(r)
+	l.pushFront(r)
 }
 
 // CacheStats counts cache activity.
@@ -104,11 +167,19 @@ type WriteCache struct {
 	cfg   CacheConfig
 
 	linesPerRegion int64
+	lineWords      int // bitset words per region
 	capLines       int64
 	totalLines     int64
-	regions        map[int64]*cacheRegion
-	streamLRU      *list.List // front = MRU, values *cacheRegion
-	zoneLRU        *list.List
+	// regions is indexed by region id (logical offset / RegionBytes); nil
+	// means the region holds no dirty lines. The dense index replaces a
+	// map — region ids are bounded by the device capacity, and the write
+	// hot path spends most of its time looking regions up.
+	regions   []*cacheRegion
+	streamLRU regionList
+	zoneLRU   regionList
+	// freeRegions recycles region structs (linked through next) so the
+	// steady state of flush-then-redirty does not allocate.
+	freeRegions *cacheRegion
 
 	stats      CacheStats
 	idleCredit time.Duration
@@ -137,15 +208,16 @@ func NewWriteCache(inner Translator, cfg CacheConfig, model CostModel) (*WriteCa
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	linesPerRegion := int64(cfg.RegionBytes / cfg.LineBytes)
+	nRegions := (inner.Capacity() + int64(cfg.RegionBytes) - 1) / int64(cfg.RegionBytes)
 	c := &WriteCache{
 		inner:          inner,
 		model:          model,
 		cfg:            cfg,
-		linesPerRegion: int64(cfg.RegionBytes / cfg.LineBytes),
+		linesPerRegion: linesPerRegion,
+		lineWords:      int((linesPerRegion + 63) / 64),
 		capLines:       cfg.CapacityBytes / int64(cfg.LineBytes),
-		regions:        make(map[int64]*cacheRegion),
-		streamLRU:      list.New(),
-		zoneLRU:        list.New(),
+		regions:        make([]*cacheRegion, nRegions),
 	}
 	if dp, ok := inner.(DataPlane); ok && dp.StoresData() {
 		c.dataMode = true
@@ -159,33 +231,53 @@ func NewWriteCache(inner Translator, cfg CacheConfig, model CostModel) (*WriteCa
 // Capacity returns the logical capacity of the underlying layer.
 func (c *WriteCache) Capacity() int64 { return c.inner.Capacity() }
 
+// newRegion returns a reset region for rid, recycled from the freelist when
+// possible.
+func (c *WriteCache) newRegion(rid int64) *cacheRegion {
+	r := c.freeRegions
+	if r != nil {
+		c.freeRegions = r.next
+		r.next = nil
+		clear(r.lines)
+		r.id, r.nlines, r.maxLine, r.stream = rid, 0, -1, false
+		return r
+	}
+	return &cacheRegion{id: rid, lines: make([]uint64, c.lineWords), maxLine: -1}
+}
+
 // Clone returns a deep copy of the cache — regions, dirty lines, both LRU
 // chains in order, stats — stacked over a clone of the inner layer.
 func (c *WriteCache) Clone() Translator {
 	g := *c
 	g.inner = c.inner.Clone()
-	g.regions = make(map[int64]*cacheRegion, len(c.regions))
-	g.streamLRU = list.New()
-	g.zoneLRU = list.New()
+	g.regions = make([]*cacheRegion, len(c.regions))
+	g.streamLRU, g.zoneLRU = regionList{}, regionList{}
+	g.freeRegions = nil
 	g.touched = nil
-	copyLRU := func(src, dst *list.List) {
-		for e := src.Front(); e != nil; e = e.Next() {
-			r := e.Value.(*cacheRegion)
-			nr := &cacheRegion{
+	// All resident regions of the clone share one backing array (and one
+	// bitset block), allocated up front: cloning is the shard fan-out hot
+	// path.
+	backing := make([]cacheRegion, c.streamLRU.n+c.zoneLRU.n)
+	words := make([]uint64, len(backing)*c.lineWords)
+	i := 0
+	copyLRU := func(src *regionList, dst *regionList) {
+		for r := src.front; r != nil; r = r.next {
+			nr := &backing[i]
+			*nr = cacheRegion{
 				id:      r.id,
-				lines:   make(map[int64]struct{}, len(r.lines)),
+				lines:   words[i*c.lineWords : (i+1)*c.lineWords : (i+1)*c.lineWords],
+				nlines:  r.nlines,
 				maxLine: r.maxLine,
 				stream:  r.stream,
 			}
-			for l := range r.lines {
-				nr.lines[l] = struct{}{}
-			}
-			nr.elem = dst.PushBack(nr)
+			copy(nr.lines, r.lines)
+			i++
+			dst.pushBack(nr)
 			g.regions[nr.id] = nr
 		}
 	}
-	copyLRU(c.streamLRU, g.streamLRU)
-	copyLRU(c.zoneLRU, g.zoneLRU)
+	copyLRU(&c.streamLRU, &g.streamLRU)
+	copyLRU(&c.zoneLRU, &g.zoneLRU)
 	if c.dataMode {
 		g.lineData = make(map[int64][]byte, len(c.lineData))
 		for l, buf := range c.lineData {
@@ -205,16 +297,16 @@ func (c *WriteCache) Stats() CacheStats { return c.stats }
 func (c *WriteCache) DirtyLines() int64 { return c.totalLines }
 
 // OpenRegions returns the number of regions holding dirty lines.
-func (c *WriteCache) OpenRegions() int { return len(c.regions) }
+func (c *WriteCache) OpenRegions() int { return c.streamLRU.n + c.zoneLRU.n }
 
 // Inner returns the wrapped translation layer.
 func (c *WriteCache) Inner() Translator { return c.inner }
 
-func (c *WriteCache) lruOf(r *cacheRegion) *list.List {
+func (c *WriteCache) lruOf(r *cacheRegion) *regionList {
 	if r.stream {
-		return c.streamLRU
+		return &c.streamLRU
 	}
-	return c.zoneLRU
+	return &c.zoneLRU
 }
 
 // flushRegion writes all dirty lines of r through to the inner layer as
@@ -222,9 +314,9 @@ func (c *WriteCache) lruOf(r *cacheRegion) *list.List {
 // bytes travel down with each run (zeros for lines dirtied through the
 // plain, payload-less Write).
 func (c *WriteCache) flushRegion(r *cacheRegion, ops *Ops) error {
-	c.lruOf(r).Remove(r.elem)
-	delete(c.regions, r.id)
-	c.totalLines -= int64(len(r.lines))
+	c.lruOf(r).remove(r)
+	c.regions[r.id] = nil
+	c.totalLines -= r.nlines
 	lb := int64(c.cfg.LineBytes)
 	base := r.id * int64(c.cfg.RegionBytes)
 	firstLine := r.id * c.linesPerRegion
@@ -260,7 +352,7 @@ func (c *WriteCache) flushRegion(r *cacheRegion, ops *Ops) error {
 		return nil
 	}
 	for l := int64(0); l < c.linesPerRegion; l++ {
-		if _, ok := r.lines[l]; ok {
+		if r.dirty(l) {
 			if runStart < 0 {
 				runStart = l
 			}
@@ -270,7 +362,14 @@ func (c *WriteCache) flushRegion(r *cacheRegion, ops *Ops) error {
 			return err
 		}
 	}
-	return flushRun(c.linesPerRegion)
+	if err := flushRun(c.linesPerRegion); err != nil {
+		return err
+	}
+	// Park the struct for reuse only after a complete flush; an error above
+	// leaves it detached so callers holding the pointer never see it recycled.
+	r.prev, r.next = nil, c.freeRegions
+	c.freeRegions = r
+	return nil
 }
 
 // admitCost charges the buffer-admission cost for bytes written, sequential
@@ -307,10 +406,10 @@ func (c *WriteCache) Write(off, length int64) (Ops, error) {
 	touched := c.touched[:0]
 	for gl := l0; gl <= l1; {
 		rid := gl / c.linesPerRegion
-		r, ok := c.regions[rid]
-		if !ok {
-			r = &cacheRegion{id: rid, lines: make(map[int64]struct{}), maxLine: -1}
-			r.elem = c.zoneLRU.PushFront(r)
+		r := c.regions[rid]
+		if r == nil {
+			r = c.newRegion(rid)
+			c.zoneLRU.pushFront(r)
 			c.regions[rid] = r
 		}
 		firstLine := gl % c.linesPerRegion
@@ -323,28 +422,31 @@ func (c *WriteCache) Write(off, length int64) (Ops, error) {
 		case ascending && !r.stream:
 			// A write extending the region in order reveals a
 			// sequential stream: promote to a write-combining buffer.
-			c.zoneLRU.Remove(r.elem)
+			c.zoneLRU.remove(r)
 			r.stream = true
-			r.elem = c.streamLRU.PushFront(r)
+			c.streamLRU.pushFront(r)
 			c.stats.Promotions++
 		case !ascending && r.maxLine >= 0 && r.stream:
 			// Out-of-order write to a stream buffer: demote.
-			c.streamLRU.Remove(r.elem)
+			c.streamLRU.remove(r)
 			r.stream = false
-			r.elem = c.zoneLRU.PushFront(r)
+			c.zoneLRU.pushFront(r)
 		default:
-			c.lruOf(r).MoveToFront(r.elem)
+			c.lruOf(r).moveToFront(r)
 		}
 		if !ascending && !openAtStart {
 			seq = false
 		}
-		for ; gl <= l1 && gl/c.linesPerRegion == rid; gl++ {
-			lineInR := gl % c.linesPerRegion
-			if _, dirty := r.lines[lineInR]; dirty {
+		regionEnd := (rid + 1) * c.linesPerRegion
+		for ; gl <= l1 && gl < regionEnd; gl++ {
+			lineInR := gl - rid*c.linesPerRegion
+			w, bit := lineInR>>6, uint64(1)<<(uint(lineInR)&63)
+			if r.lines[w]&bit != 0 {
 				c.stats.Hits++
 			} else {
 				c.stats.Misses++
-				r.lines[lineInR] = struct{}{}
+				r.lines[w] |= bit
+				r.nlines++
 				c.totalLines++
 			}
 			if lineInR > r.maxLine {
@@ -361,7 +463,7 @@ func (c *WriteCache) Write(off, length int64) (Ops, error) {
 
 	// Fully written regions flush immediately (cheap switch merge below).
 	for _, r := range touched {
-		if _, still := c.regions[r.id]; still && int64(len(r.lines)) == c.linesPerRegion {
+		if c.regions[r.id] == r && r.nlines == c.linesPerRegion {
 			c.stats.CompleteFlush++
 			if err := c.flushRegion(r, &ops); err != nil {
 				return ops, err
@@ -370,10 +472,9 @@ func (c *WriteCache) Write(off, length int64) (Ops, error) {
 	}
 	// Stream bound: too many concurrent sequential streams force partial
 	// flushes (the Partitioning cliff).
-	for c.cfg.Streams > 0 && c.streamLRU.Len() > c.cfg.Streams {
+	for c.cfg.Streams > 0 && c.streamLRU.n > c.cfg.Streams {
 		c.stats.StreamFlushes++
-		r := c.streamLRU.Back().Value.(*cacheRegion)
-		if err := c.flushRegion(r, &ops); err != nil {
+		if err := c.flushRegion(c.streamLRU.back, &ops); err != nil {
 			return ops, err
 		}
 	}
@@ -384,10 +485,10 @@ func (c *WriteCache) Write(off, length int64) (Ops, error) {
 		batch := c.cfg.EvictBatch
 		for i := 0; (i < batch || c.totalLines > c.capLines) && c.totalLines > 0; i++ {
 			var r *cacheRegion
-			if c.zoneLRU.Len() > 0 {
-				r = c.zoneLRU.Back().Value.(*cacheRegion)
-			} else if c.streamLRU.Len() > 0 {
-				r = c.streamLRU.Back().Value.(*cacheRegion)
+			if c.zoneLRU.n > 0 {
+				r = c.zoneLRU.back
+			} else if c.streamLRU.n > 0 {
+				r = c.streamLRU.back
 			} else {
 				break
 			}
@@ -428,8 +529,8 @@ func (c *WriteCache) Read(off, length int64) (Ops, error) {
 	}
 	for gl := l0; gl <= l1; gl++ {
 		rid := gl / c.linesPerRegion
-		if r, ok := c.regions[rid]; ok {
-			if _, dirty := r.lines[gl%c.linesPerRegion]; dirty {
+		if r := c.regions[rid]; r != nil {
+			if r.dirty(gl % c.linesPerRegion) {
 				if c.cfg.FlashBacked {
 					pages := c.cfg.LineBytes / c.cfg.PageBytes
 					if pages < 1 {
@@ -481,7 +582,7 @@ func (c *WriteCache) WriteData(off int64, data []byte) (Ops, error) {
 				// Partially covered fresh line: fill with the bytes below
 				// (a dirty-but-bufferless line from a plain Write stays
 				// zeros — its content is unspecified anyway).
-				if r, dirty := c.regions[gl/c.linesPerRegion]; !dirty || !lineDirty(r, gl%c.linesPerRegion) {
+				if r := c.regions[gl/c.linesPerRegion]; r == nil || !r.dirty(gl%c.linesPerRegion) {
 					c.innerPeek.peekData(lineStart, buf)
 				}
 			}
@@ -490,11 +591,6 @@ func (c *WriteCache) WriteData(off int64, data []byte) (Ops, error) {
 		overlay(buf, gl*lb, data, off)
 	}
 	return c.Write(off, int64(len(data)))
-}
-
-func lineDirty(r *cacheRegion, lineInR int64) bool {
-	_, ok := r.lines[lineInR]
-	return ok
 }
 
 // ReadData implements the data plane: exactly Read(off, len(buf)) plus the
@@ -523,9 +619,9 @@ func (c *WriteCache) peekData(off int64, buf []byte) {
 			n = rest
 		}
 		dst := buf[covered : covered+n]
-		r, ok := c.regions[gl/c.linesPerRegion]
+		r := c.regions[gl/c.linesPerRegion]
 		switch {
-		case ok && lineDirty(r, gl%c.linesPerRegion):
+		case r != nil && r.dirty(gl%c.linesPerRegion):
 			clear(dst)
 			if line, has := c.lineData[gl]; has {
 				copy(dst, line[lineOff:])
@@ -549,12 +645,12 @@ func (c *WriteCache) Idle(d time.Duration) {
 	if c.idleCredit > maxCredit {
 		c.idleCredit = maxCredit
 	}
-	for c.idleCredit > 0 && (c.zoneLRU.Len() > 0 || c.streamLRU.Len() > 0) {
+	for c.idleCredit > 0 && (c.zoneLRU.n > 0 || c.streamLRU.n > 0) {
 		var r *cacheRegion
-		if c.zoneLRU.Len() > 0 {
-			r = c.zoneLRU.Back().Value.(*cacheRegion)
+		if c.zoneLRU.n > 0 {
+			r = c.zoneLRU.back
 		} else {
-			r = c.streamLRU.Back().Value.(*cacheRegion)
+			r = c.streamLRU.back
 		}
 		var ops Ops
 		c.stats.IdleDestages++

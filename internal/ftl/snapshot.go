@@ -2,6 +2,7 @@ package ftl
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"uflip/internal/flash"
@@ -321,12 +322,13 @@ type CacheSnapshot struct {
 
 func regionSnapshot(r *cacheRegion) RegionSnapshot {
 	s := RegionSnapshot{ID: r.id, MaxLine: r.maxLine, Stream: r.stream}
-	for l := range r.lines {
-		s.Lines = append(s.Lines, l)
-	}
-	for i := 1; i < len(s.Lines); i++ {
-		for j := i; j > 0 && s.Lines[j] < s.Lines[j-1]; j-- {
-			s.Lines[j], s.Lines[j-1] = s.Lines[j-1], s.Lines[j]
+	if r.nlines > 0 {
+		// Walking the bitset words in order yields the lines already sorted.
+		s.Lines = make([]int64, 0, r.nlines)
+		for w, word := range r.lines {
+			for ; word != 0; word &= word - 1 {
+				s.Lines = append(s.Lines, int64(w)*64+int64(bits.TrailingZeros64(word)))
+			}
 		}
 	}
 	return s
@@ -344,11 +346,11 @@ func (c *WriteCache) Snapshot() (*CacheSnapshot, error) {
 		Stats:      c.stats,
 		IdleCredit: c.idleCredit,
 	}
-	for e := c.streamLRU.Front(); e != nil; e = e.Next() {
-		s.StreamLRU = append(s.StreamLRU, regionSnapshot(e.Value.(*cacheRegion)))
+	for r := c.streamLRU.front; r != nil; r = r.next {
+		s.StreamLRU = append(s.StreamLRU, regionSnapshot(r))
 	}
-	for e := c.zoneLRU.Front(); e != nil; e = e.Next() {
-		s.ZoneLRU = append(s.ZoneLRU, regionSnapshot(e.Value.(*cacheRegion)))
+	for r := c.zoneLRU.front; r != nil; r = r.next {
+		s.ZoneLRU = append(s.ZoneLRU, regionSnapshot(r))
 	}
 	if c.dataMode {
 		s.LineData = make(map[int64][]byte, len(c.lineData))
@@ -373,30 +375,33 @@ func (c *WriteCache) Restore(s *CacheSnapshot) error {
 	if err := RestoreTranslator(c.inner, s.Inner); err != nil {
 		return err
 	}
-	c.regions = make(map[int64]*cacheRegion, len(s.StreamLRU)+len(s.ZoneLRU))
-	c.streamLRU.Init()
-	c.zoneLRU.Init()
+	clear(c.regions)
+	c.streamLRU, c.zoneLRU = regionList{}, regionList{}
+	c.freeRegions = nil
 	restoreChain := func(snaps []RegionSnapshot, stream bool) error {
 		for _, rs := range snaps {
 			if rs.Stream != stream {
 				return fmt.Errorf("ftl: region %d in the wrong LRU chain", rs.ID)
 			}
-			if _, dup := c.regions[rs.ID]; dup {
+			if rs.ID < 0 || rs.ID >= int64(len(c.regions)) {
+				return fmt.Errorf("ftl: region %d out of range", rs.ID)
+			}
+			if c.regions[rs.ID] != nil {
 				return fmt.Errorf("ftl: region %d appears twice in the snapshot", rs.ID)
 			}
-			r := &cacheRegion{
-				id:      rs.ID,
-				lines:   make(map[int64]struct{}, len(rs.Lines)),
-				maxLine: rs.MaxLine,
-				stream:  rs.Stream,
-			}
+			r := c.newRegion(rs.ID)
+			r.maxLine = rs.MaxLine
+			r.stream = rs.Stream
 			for _, l := range rs.Lines {
 				if l < 0 || l >= c.linesPerRegion {
 					return fmt.Errorf("ftl: region %d line %d out of range", rs.ID, l)
 				}
-				r.lines[l] = struct{}{}
+				if w, bit := l>>6, uint64(1)<<(uint(l)&63); r.lines[w]&bit == 0 {
+					r.lines[w] |= bit
+					r.nlines++
+				}
 			}
-			r.elem = c.lruOf(r).PushBack(r)
+			c.lruOf(r).pushBack(r)
 			c.regions[rs.ID] = r
 		}
 		return nil
@@ -408,8 +413,11 @@ func (c *WriteCache) Restore(s *CacheSnapshot) error {
 		return err
 	}
 	var lines int64
-	for _, r := range c.regions {
-		lines += int64(len(r.lines))
+	for r := c.streamLRU.front; r != nil; r = r.next {
+		lines += r.nlines
+	}
+	for r := c.zoneLRU.front; r != nil; r = r.next {
+		lines += r.nlines
 	}
 	if lines != s.TotalLines {
 		return fmt.Errorf("ftl: snapshot claims %d dirty lines, regions hold %d", s.TotalLines, lines)

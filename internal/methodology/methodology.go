@@ -8,6 +8,7 @@
 package methodology
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -35,6 +36,7 @@ func EnforceSequentialState(dev device.Device, seed int64) (time.Duration, error
 
 func enforceState(dev device.Device, seed int64, random bool) (time.Duration, error) {
 	const blockSize = 128 * 1024
+	const batch = 128
 	capacity := dev.Capacity()
 	if capacity <= 0 {
 		return 0, fmt.Errorf("methodology: state enforcement: device %s has no capacity", dev.Name())
@@ -43,45 +45,68 @@ func enforceState(dev device.Device, seed int64, random bool) (time.Duration, er
 	var t time.Duration
 	var written int64
 	var off int64
+	// The fill IOs are a pure function of the RNG stream (never of
+	// completion times), so they are generated a batch ahead and submitted
+	// closed-loop — each at the previous completion — in one SubmitBatch
+	// call from fixed stack scratch.
+	var ios [batch]device.IO
+	var done [batch]time.Duration
 	for written < capacity {
-		var io device.IO
-		if random {
-			size := (rng.Int63n(blockSize/512) + 1) * 512
-			// Devices smaller than the drawn IO (or smaller than one flash
-			// block) get the IO clamped to their capacity; without the clamp
-			// the slot bound below would be non-positive and Int63n panics.
-			if size > capacity {
-				size = capacity
-			}
-			var slot int64
-			if maxSlots := (capacity - size) / 512; maxSlots > 0 {
-				slot = rng.Int63n(maxSlots)
-			}
-			io = device.IO{Mode: device.Write, Off: slot * 512, Size: size}
-		} else {
-			size := int64(blockSize)
-			if remaining := capacity - off; size > remaining {
-				// Align the tail IO down to the 512 B sector so unaligned
-				// capacities never produce sub-sector IOs; the sub-sector
-				// remainder is unreachable at this addressing granularity
-				// and is skipped deterministically.
-				size = remaining &^ 511
-				if size == 0 {
-					if off > 0 {
-						break
-					}
-					size = remaining // device smaller than one sector
+		n := 0
+		for n < batch && written < capacity {
+			var io device.IO
+			if random {
+				size := (rng.Int63n(blockSize/512) + 1) * 512
+				// Devices smaller than the drawn IO (or smaller than one
+				// flash block) get the IO clamped to their capacity; without
+				// the clamp the slot bound below would be non-positive and
+				// Int63n panics.
+				if size > capacity {
+					size = capacity
 				}
+				var slot int64
+				if maxSlots := (capacity - size) / 512; maxSlots > 0 {
+					slot = rng.Int63n(maxSlots)
+				}
+				io = device.IO{Mode: device.Write, Off: slot * 512, Size: size}
+			} else {
+				size := int64(blockSize)
+				if remaining := capacity - off; size > remaining {
+					// Align the tail IO down to the 512 B sector so unaligned
+					// capacities never produce sub-sector IOs; the sub-sector
+					// remainder is unreachable at this addressing granularity
+					// and is skipped deterministically.
+					size = remaining &^ 511
+					if size == 0 {
+						if off > 0 {
+							written = capacity // sequential fill complete
+							break
+						}
+						size = remaining // device smaller than one sector
+					}
+				}
+				io = device.IO{Mode: device.Write, Off: off, Size: size}
+				off += size
 			}
-			io = device.IO{Mode: device.Write, Off: off, Size: size}
-			off += size
+			ios[n] = io
+			done[n] = device.ChainNext
+			written += io.Size
+			n++
 		}
-		done, err := dev.Submit(t, io)
-		if err != nil {
+		if n == 0 {
+			break
+		}
+		if err := dev.SubmitBatch(t, ios[:n], done[:n]); err != nil {
+			var be *device.BatchError
+			if errors.As(err, &be) {
+				if be.Index > 0 {
+					t = done[be.Index-1]
+				}
+				return t, fmt.Errorf("methodology: state enforcement: %w", be.Err)
+			}
 			return t, fmt.Errorf("methodology: state enforcement: %w", err)
 		}
-		t = done
-		written += io.Size
+		t = done[n-1]
 	}
 	return t, nil
 }

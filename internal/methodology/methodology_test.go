@@ -265,6 +265,12 @@ func (d *recordingDevice) Submit(at time.Duration, io device.IO) (time.Duration,
 	return d.MemDevice.Submit(at, io)
 }
 
+// SubmitBatch routes through the recorder's own Submit (the embedded
+// MemDevice's promoted batch path would bypass the recording override).
+func (d *recordingDevice) SubmitBatch(at time.Duration, ios []device.IO, done []time.Duration) error {
+	return device.SerialSubmitBatch(d, at, ios, done)
+}
+
 func TestEnforceStateTinyCapacities(t *testing.T) {
 	// Regression: capacities at or below one 128 KB flash block used to
 	// panic in rand.Int63n (non-positive bound) on the random path, and

@@ -1,0 +1,99 @@
+package paperexp
+
+import (
+	"bytes"
+	"testing"
+
+	"uflip/internal/core"
+	"uflip/internal/device"
+	"uflip/internal/methodology"
+	"uflip/internal/profile"
+)
+
+// TestStateKeyIncludesProfileFingerprint: the store key embeds the resolved
+// profile fingerprint, so editing a device profile invalidates its cached
+// states (the profile-side mutation regression lives in internal/profile).
+func TestStateKeyIncludesProfileFingerprint(t *testing.T) {
+	cfg := DefaultConfig()
+	k := StateKey("memoright", cfg)
+	fp, err := profile.Fingerprint("memoright")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Fingerprint == "" || k.Fingerprint != fp {
+		t.Fatalf("key fingerprint %q, want %q", k.Fingerprint, fp)
+	}
+	other := StateKey("mtron", cfg)
+	if other.Fingerprint == k.Fingerprint {
+		t.Fatal("distinct profiles share a key fingerprint")
+	}
+	// A fingerprint change alone must change the content address.
+	mutated := k
+	mutated.Fingerprint = "0000000000000000"
+	if mutated.Hash() == k.Hash() {
+		t.Fatal("fingerprint does not reach the key hash")
+	}
+}
+
+// TestSequentialEnforceCached routes EnforceSequentialState through
+// PrepareCached: the sequentially-enforced state is saved on the first run,
+// hit on the second, and both are byte-identical to live enforcement.
+func TestSequentialEnforceCached(t *testing.T) {
+	const key = "kingston-dti"
+	cfg := cacheTestConfig(t, true)
+	cfg.Enforce = "sequential"
+
+	// Live reference: build + enforce sequentially, no store.
+	live, err := profile.BuildDevice(key, cfg.Capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveAt, err := methodology.EnforceSequentialState(live, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(dev device.Device) []byte {
+		t.Helper()
+		d := cfg.defaults(dev.Capacity())
+		run, err := core.ExecutePattern(dev, core.RW.Pattern(d), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return marshal(t, run)
+	}
+	want := measure(live)
+
+	for i, wantHit := range []bool{false, true} {
+		dev, at, hit, err := PrepareCached(key, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit != wantHit {
+			t.Fatalf("run %d: hit=%v, want %v", i, hit, wantHit)
+		}
+		if at != liveAt {
+			t.Fatalf("run %d: enforcement ends at %v, live at %v", i, at, liveAt)
+		}
+		if got := measure(dev); !bytes.Equal(got, want) {
+			t.Fatalf("run %d: cached sequential state diverges from live enforcement", i)
+		}
+	}
+
+	// The sequential state is keyed apart from the random one.
+	sk := StateKey(key, cfg)
+	if sk.Enforce != "sequential" {
+		t.Fatalf("key enforce = %q", sk.Enforce)
+	}
+	random := cfg
+	random.Enforce = ""
+	if StateKey(key, random) == sk {
+		t.Fatal("sequential and random enforcement share a key")
+	}
+	if !cfg.Store.Contains(sk) {
+		t.Fatal("sequential state not persisted")
+	}
+	if cfg.Store.Contains(StateKey(key, random)) {
+		t.Fatal("random-state entry appeared from a sequential run")
+	}
+}

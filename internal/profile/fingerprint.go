@@ -1,0 +1,56 @@
+package profile
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Fingerprint digests every parameter of the resolved device(s) behind a
+// spec: the canonical spec string (array layout, member order, chunk and
+// queue-depth options) plus the full profile of each member — translation
+// configs, cache config, cost-model coefficients, bus speeds. Cached
+// enforced states embed this digest in their store key, so editing any
+// profile number invalidates the states it produced instead of silently
+// serving a device that no longer exists.
+func Fingerprint(spec string) (string, error) {
+	if IsArraySpec(spec) {
+		s, err := ParseArraySpec(spec)
+		if err != nil {
+			return "", err
+		}
+		ps := make([]Profile, len(s.MemberKeys))
+		for i, key := range s.MemberKeys {
+			p, err := ByKey(key)
+			if err != nil {
+				return "", err
+			}
+			ps[i] = p
+		}
+		return fingerprintProfiles(s.String(), ps)
+	}
+	p, err := ByKey(spec)
+	if err != nil {
+		return "", err
+	}
+	return fingerprintProfiles(p.Key, []Profile{p})
+}
+
+// fingerprintProfiles hashes the canonical spec and the JSON form of each
+// resolved profile. Every calibration field is exported, so the JSON dump
+// covers the complete parameter set (and dereferences the optional cache
+// config rather than hashing a pointer).
+func fingerprintProfiles(canonical string, ps []Profile) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n", canonical)
+	for _, p := range ps {
+		blob, err := json.Marshal(p)
+		if err != nil {
+			return "", fmt.Errorf("profile: fingerprint %s: %w", p.Key, err)
+		}
+		h.Write(blob)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16], nil
+}

@@ -45,11 +45,15 @@ type Key struct {
 	Seed int64
 	// Enforce names the enforcement kind ("random", "sequential").
 	Enforce string
+	// Fingerprint digests the resolved profile parameters behind Spec
+	// (profile.Fingerprint), so editing a device profile invalidates the
+	// states it produced instead of silently serving stale ones.
+	Fingerprint string
 }
 
 // String returns the canonical textual form the hash covers.
 func (k Key) String() string {
-	return fmt.Sprintf("spec=%s capacity=%d seed=%d enforce=%s", k.Spec, k.Capacity, k.Seed, k.Enforce)
+	return fmt.Sprintf("spec=%s fp=%s capacity=%d seed=%d enforce=%s", k.Spec, k.Fingerprint, k.Capacity, k.Seed, k.Enforce)
 }
 
 // Hash returns the hex SHA-256 of the canonical key, the store's file stem.

@@ -21,6 +21,7 @@ package workload
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -29,6 +30,10 @@ import (
 	"uflip/internal/engine"
 	"uflip/internal/stats"
 )
+
+// batchOps is how many ops Replay hands the device per SubmitBatch call;
+// the submission scratch is a fixed stack buffer of this size.
+const batchOps = 128
 
 // Op is one timed IO of a workload: the request plus the inter-arrival gap
 // between the previous op's submission and this one's.
@@ -60,25 +65,47 @@ func Replay(dev device.Device, ops []Op, startAt time.Duration) (*core.Run, erro
 		RTs:         make([]time.Duration, 0, len(ops)),
 		SubmitTimes: make([]time.Duration, 0, len(ops)),
 	}
+	// Open-loop batch submission: arrival times are known a priori, so each
+	// batch entry carries its absolute submission time and the whole batch
+	// is one SubmitBatch call. The scratch is a fixed-size stack buffer —
+	// per-replay (and therefore per-segment/shard), never shared or pooled.
 	t := startAt
 	var end time.Duration
 	var acc stats.Running
-	for i, op := range ops {
-		if op.Gap < 0 {
-			return nil, fmt.Errorf("workload: op %d has negative inter-arrival gap %v", i, op.Gap)
+	var ios [batchOps]device.IO
+	var done [batchOps]time.Duration
+	for base := 0; base < len(ops); {
+		n := len(ops) - base
+		if n > batchOps {
+			n = batchOps
 		}
-		t += op.Gap
-		done, err := dev.Submit(t, op.IO)
-		if err != nil {
-			return nil, fmt.Errorf("workload: op %d (%s off=%d size=%d): %w", i, op.IO.Mode, op.IO.Off, op.IO.Size, err)
+		for k := 0; k < n; k++ {
+			op := ops[base+k]
+			if op.Gap < 0 {
+				return nil, fmt.Errorf("workload: op %d has negative inter-arrival gap %v", base+k, op.Gap)
+			}
+			t += op.Gap
+			ios[k] = op.IO
+			done[k] = t
+			run.SubmitTimes = append(run.SubmitTimes, t)
 		}
-		rt := done - t
-		run.RTs = append(run.RTs, rt)
-		run.SubmitTimes = append(run.SubmitTimes, t)
-		acc.AddDuration(rt)
-		if done > end {
-			end = done
+		if err := dev.SubmitBatch(done[0], ios[:n], done[:n]); err != nil {
+			var be *device.BatchError
+			if errors.As(err, &be) {
+				i := base + be.Index
+				return nil, fmt.Errorf("workload: op %d (%s off=%d size=%d): %w", i, be.IO.Mode, be.IO.Off, be.IO.Size, be.Err)
+			}
+			return nil, fmt.Errorf("workload: %w", err)
 		}
+		for k := 0; k < n; k++ {
+			rt := done[k] - run.SubmitTimes[base+k]
+			run.RTs = append(run.RTs, rt)
+			acc.AddDuration(rt)
+			if done[k] > end {
+				end = done[k]
+			}
+		}
+		base += n
 	}
 	run.Summary = acc.Summary()
 	run.Total = end - startAt
