@@ -24,13 +24,19 @@ bench:
 # test2json events into BENCH_<date>.json, for tracking results over time.
 # The HTTP-layer admission benchmark is appended to the same stream so daemon
 # throughput and p99 admission latency are recorded (reported, not gated).
+# The SubmitBatch pair is re-run at a steadier iteration count because
+# benchcheck gates their ns/op ratio (zero-fault FaultyDevice wrapper within
+# 5% of the raw path) and a 1x sample is too noisy to pin; the re-run
+# overwrites the 1x numbers since the parser keeps the last occurrence.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json . > BENCH_$$(date +%Y%m%d).json
 	$(GO) test -run '^$$' -bench BenchmarkJobAdmission -benchtime 1x -json ./internal/server >> BENCH_$$(date +%Y%m%d).json
+	$(GO) test -run '^$$' -bench 'BenchmarkSubmitBatch$$|BenchmarkSubmitBatchFaultyNoop$$' -benchtime 2000x -json . >> BENCH_$$(date +%Y%m%d).json
 
 # Compare the latest bench-json output against the committed baseline; fails
 # on >20% ns/op regression of the pinned benchmarks (EngineSpeedup, Table3,
-# SubmitBatch, ReplayParallel).
+# SubmitBatch, ReplayParallel) or when the zero-fault wrapper ratio pin
+# exceeds its limit.
 # The newest dated file is picked by mtime so a run spanning midnight still
 # compares what bench-json just wrote.
 bench-check: bench-json

@@ -546,6 +546,44 @@ func BenchmarkSubmitBatch(b *testing.B) {
 	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "ios/s")
 }
 
+// BenchmarkSubmitBatchFaultyNoop is BenchmarkSubmitBatch with the device
+// wrapped in a zero-fault FaultyDevice — the configuration every experiment
+// runs in once fault injection exists, armed or not. The unarmed wrapper
+// forwards SubmitBatch verbatim, so this must track BenchmarkSubmitBatch
+// within noise; cmd/benchcheck pins the ratio below 5%.
+func BenchmarkSubmitBatchFaultyNoop(b *testing.B) {
+	raw, err := profile.BuildDevice("memoright", 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := device.NewFaulty(device.FaultConfig{}, raw)
+	const batch = 128
+	ios := make([]device.IO, batch)
+	done := make([]time.Duration, batch)
+	for i := range ios {
+		ios[i] = device.IO{Mode: device.Write, Off: int64(i) % 16 * 128 * 1024, Size: 32 * 1024}
+	}
+	var at time.Duration
+	submit := func() {
+		for j := range done {
+			done[j] = device.ChainNext
+		}
+		if err := dev.SubmitBatch(at, ios, done); err != nil {
+			b.Fatal(err)
+		}
+		at = done[batch-1]
+	}
+	for i := 0; i < 64; i++ {
+		submit()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submit()
+	}
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "ios/s")
+}
+
 // BenchmarkReplayParallel replays a 100k-op OLTP stream through the engine
 // at GOMAXPROCS workers — the workload-path companion to BenchmarkTable3 for
 // the batch pipeline's wall-clock. The master device is enforced once before

@@ -17,6 +17,11 @@
 // but never fail the check (the suite may legitimately grow or shrink); a
 // pinned benchmark missing from the current results fails it, since a
 // vanished benchmark would otherwise disable the gate silently.
+//
+// -ratio pins relative costs WITHIN the current file: each NUM/DEN<=LIMIT
+// entry fails the check when ns/op(NUM) exceeds LIMIT times ns/op(DEN). The
+// default pins the zero-fault FaultyDevice wrapper within 5% of the raw
+// batch submit path — wrapping must stay free when no faults are armed.
 package main
 
 import (
@@ -108,19 +113,74 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline go test -json benchmark file")
 		pins         = flag.String("pin", "BenchmarkEngineSpeedup,BenchmarkTable3,BenchmarkSubmitBatch,BenchmarkReplayParallel", "comma-separated benchmark-name prefixes that must not regress")
 		maxRegress   = flag.Float64("max-regress", 0.20, "maximum allowed fractional ns/op regression of a pinned benchmark")
+		ratios       = flag.String("ratio", "BenchmarkSubmitBatchFaultyNoop/BenchmarkSubmitBatch<=1.05", "comma-separated NUM/DEN<=LIMIT pins on ns/op ratios within the current file (empty disables)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchcheck -baseline <old.json> <new.json>")
 		os.Exit(2)
 	}
-	if err := run(*baselinePath, flag.Arg(0), strings.Split(*pins, ","), *maxRegress); err != nil {
+	if err := run(*baselinePath, flag.Arg(0), strings.Split(*pins, ","), *maxRegress, *ratios); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath, currentPath string, pins []string, maxRegress float64) error {
+// ratioPin is one NUM/DEN<=LIMIT entry: the current-file ns/op of Num must
+// not exceed Limit times the current-file ns/op of Den.
+type ratioPin struct {
+	Num, Den string
+	Limit    float64
+}
+
+// parseRatios parses the -ratio flag value. Entries are comma-separated
+// NUM/DEN<=LIMIT specs; an empty value disables ratio checking.
+func parseRatios(s string) ([]ratioPin, error) {
+	var out []ratioPin
+	for _, spec := range strings.Split(s, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		names, limit, ok := strings.Cut(spec, "<=")
+		if !ok {
+			return nil, fmt.Errorf("ratio %q: want NUM/DEN<=LIMIT", spec)
+		}
+		num, den, ok := strings.Cut(names, "/")
+		if !ok || num == "" || den == "" {
+			return nil, fmt.Errorf("ratio %q: want NUM/DEN<=LIMIT", spec)
+		}
+		max, err := strconv.ParseFloat(strings.TrimSpace(limit), 64)
+		if err != nil || max <= 0 {
+			return nil, fmt.Errorf("ratio %q: bad limit %q", spec, limit)
+		}
+		out = append(out, ratioPin{Num: strings.TrimSpace(num), Den: strings.TrimSpace(den), Limit: max})
+	}
+	return out, nil
+}
+
+// lookupBench finds a benchmark by bare name in a result map, tolerating the
+// -N GOMAXPROCS suffix go test appends (BenchmarkFoo-8). An exact match wins;
+// otherwise the suffixed entry is used.
+func lookupBench(m map[string]float64, name string) (float64, bool) {
+	if v, ok := m[name]; ok {
+		return v, true
+	}
+	for k, v := range m {
+		if strings.HasPrefix(k, name+"-") && !strings.ContainsAny(k[len(name)+1:], "/-") {
+			if _, err := strconv.Atoi(k[len(name)+1:]); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func run(baselinePath, currentPath string, pins []string, maxRegress float64, ratioSpec string) error {
+	ratioPins, err := parseRatios(ratioSpec)
+	if err != nil {
+		return err
+	}
 	base, err := parseBenchFile(baselinePath)
 	if err != nil {
 		return err
@@ -177,8 +237,25 @@ func run(baselinePath, currentPath string, pins []string, maxRegress float64) er
 			}
 		}
 	}
+	for _, rp := range ratioPins {
+		num, okN := lookupBench(cur, rp.Num)
+		den, okD := lookupBench(cur, rp.Den)
+		if !okN || !okD {
+			// A ratio whose operands vanished would silently disable the
+			// gate, same as a missing pinned benchmark.
+			regressions = append(regressions, fmt.Sprintf("ratio %s/%s: benchmark missing from current results", rp.Num, rp.Den))
+			continue
+		}
+		ratio := num / den
+		mark := ""
+		if ratio > rp.Limit {
+			mark = "  REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("ratio %s/%s: %.3f exceeds limit %.3f", rp.Num, rp.Den, ratio, rp.Limit))
+		}
+		fmt.Printf("ratio %s/%s: %.3f (limit %.3f)%s\n", rp.Num, rp.Den, ratio, rp.Limit, mark)
+	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("%d pinned benchmark(s) regressed more than %.0f%%:\n  %s",
+		return fmt.Errorf("%d pinned check(s) failed (max regression %.0f%%):\n  %s",
 			len(regressions), maxRegress*100, strings.Join(regressions, "\n  "))
 	}
 	fmt.Printf("ok: no pinned benchmark regressed more than %.0f%%\n", maxRegress*100)

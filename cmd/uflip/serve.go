@@ -34,6 +34,7 @@ func runServe(args []string) error {
 		burst    = fs.Int("burst", 0, "per-tenant token-bucket burst (0 = derive from -rate)")
 		tenantQ  = fs.Int("tenant-queue", 0, "per-tenant queued-job quota (0 = only the global -queue bound)")
 		maxTrace = fs.Int64("max-trace-bytes", 0, "largest accepted trace upload in bytes (0 = 8 MiB)")
+		jobTO    = fs.Duration("job-timeout", 0, "kill a job still running after this long and report it failed (0 = no watchdog)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -52,6 +53,7 @@ func runServe(args []string) error {
 		Burst:           *burst,
 		TenantQueue:     *tenantQ,
 		MaxTraceBytes:   *maxTrace,
+		JobTimeout:      *jobTO,
 	})
 	if err != nil {
 		return err

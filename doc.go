@@ -87,6 +87,25 @@
 // parallelism, per-job cancellation, and one state store shared by all
 // jobs — each device state is enforced at most once, ever.
 //
+// Fault injection (internal/device.FaultyDevice, spec syntax
+// "faulty(mtron,readerr=1e-4,spike=200us@0.01,seed=7)", accepted by every
+// -device flag and nestable into array members) wraps any device with a
+// deterministic fault schedule — a pure function of seed and op index:
+// per-op read/write media-error probabilities, explicit failing op
+// indexes, sticky bad offsets, latency spikes, submission stalls, and a
+// whole-device death point. Faults surface as typed errors (ErrMediaRead,
+// ErrMediaWrite, ErrDeviceGone) inside a BatchError that keeps the batch
+// contract intact, and the stack above rides them out: SubmitBatchRetry
+// resubmits failed tails with deterministic simulated-time backoff (fault
+// and retry counts land in every summary CSV and report), mirror arrays
+// route around members that die mid-run, the daemon's -job-timeout
+// watchdog fails stuck jobs with a typed SSE event, the client reconnects
+// dropped event streams with jittered backoff, and corrupted state-cache
+// files are quarantined and re-enforced instead of mis-loading. Zero-rate
+// wrapping is pinned byte-identical to the raw device, and armed
+// schedules are pinned byte-identical at any worker count — fault
+// injection is an experiment variable, not noise.
+//
 // A differential and fuzz test layer guards the simulator: 1-member arrays
 // are pinned byte-identical to their raw member over the full
 // micro-benchmark suite and the workload generators; the FTL data plane

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -208,25 +209,57 @@ func (c *Client) Traces(ctx context.Context) (api.TraceList, error) {
 	return tl, c.getJSON(ctx, "/traces", &tl)
 }
 
+// Reconnect backoff bounds: the first retry waits about reconnectBase, each
+// consecutive failure doubles the wait up to reconnectCap, and every wait is
+// jittered by ±50% so a fleet of clients cut off together does not reconnect
+// in lockstep.
+const (
+	reconnectBase = 200 * time.Millisecond
+	reconnectCap  = 5 * time.Second
+)
+
+// reconnectDelay returns the nominal (un-jittered) backoff for the n-th
+// consecutive failed reconnect attempt (n >= 0): base << n, capped.
+func reconnectDelay(attempt int) time.Duration {
+	d := reconnectBase
+	for i := 0; i < attempt && d < reconnectCap; i++ {
+		d *= 2
+	}
+	return min(d, reconnectCap)
+}
+
+// jitter spreads d uniformly over [d/2, 3d/2). Thundering-herd avoidance is
+// the one place the client wants real randomness — nothing measured depends
+// on it.
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
 // Events streams a job's progress events, invoking fn for each, starting
 // after event ID `after` (0 = from the beginning). The stream's monotonic
 // IDs drive transparent reconnection: if the connection drops mid-job the
-// client reconnects with Last-Event-ID and resumes without gaps or repeats.
-// Events returns nil once a terminal event (done, failed, canceled) has been
+// client reconnects with Last-Event-ID and resumes without gaps or repeats,
+// backing off exponentially (jittered, reconnectBase up to reconnectCap)
+// across consecutive failures and resetting once events flow again. Events
+// returns nil once a terminal event (done, failed, canceled) has been
 // delivered, or the context/server error that ended the stream.
 func (c *Client) Events(ctx context.Context, id string, after int64, fn func(api.Event)) error {
+	attempt := 0
 	for {
 		terminal, last, err := c.streamOnce(ctx, id, after, fn)
 		if terminal || err != nil {
 			return err
 		}
+		if last > after {
+			attempt = 0 // the connection made progress before dropping
+		}
 		after = last
-		// The connection dropped mid-stream; back off briefly and resume.
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(200 * time.Millisecond):
+		case <-time.After(jitter(reconnectDelay(attempt))):
 		}
+		attempt++
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -53,6 +54,11 @@ type Run struct {
 	// to completion of the last), which the Pause micro-benchmark uses to
 	// check that pauses do not change total workload time.
 	Total time.Duration
+	// Faults counts the device faults observed during the run and the
+	// retries spent recovering from them (all zero on a healthy device).
+	// Retried IOs keep their nominal submission time, so their response
+	// times include the retry delay.
+	Faults device.FaultStats
 }
 
 // MeasuredRTs returns the response times of the running phase.
@@ -125,7 +131,7 @@ func Execute(dev device.Device, src IOSource, count, ignore int, timing Timing, 
 		if n == 0 {
 			break
 		}
-		if err := dev.SubmitBatch(t, scratch.ios[:n], scratch.done[:n]); err != nil {
+		if err := device.SubmitBatchRetry(context.Background(), dev, t, scratch.ios[:n], scratch.done[:n], device.DefaultRetryPolicy, &run.Faults); err != nil {
 			return nil, submitErr("core:", base, err)
 		}
 		prev := t
@@ -159,6 +165,27 @@ func Execute(dev device.Device, src IOSource, count, ignore int, timing Timing, 
 	run.Summary = acc.Summary()
 	run.Total = t - startAt
 	return run, nil
+}
+
+// submitRetry is the per-IO retry loop of ExecuteParallel: resubmit a
+// transiently failed IO after a doubling simulated-time backoff, up to the
+// default policy's budget. The caller measures the response time from the
+// original submission, so it includes the retry delay.
+func submitRetry(dev device.Device, at time.Duration, io device.IO, st *device.FaultStats) (time.Duration, error) {
+	pol := device.DefaultRetryPolicy
+	sub := at
+	for attempt := 0; ; attempt++ {
+		done, err := dev.Submit(sub, io)
+		if err == nil {
+			return done, nil
+		}
+		st.Faults++
+		if !device.Retryable(err) || attempt >= pol.Max {
+			return 0, err
+		}
+		st.Retries++
+		sub += pol.Backoff << attempt
+	}
 }
 
 // ExecutePattern validates and runs a single pattern.
@@ -247,7 +274,7 @@ func ExecuteParallel(dev device.Device, p Pattern, degree int, startAt time.Dura
 			continue
 		}
 		t := pick.next
-		done, err := dev.Submit(t, io)
+		done, err := submitRetry(dev, t, io, &run.Faults)
 		if err != nil {
 			return nil, fmt.Errorf("core: parallel IO %d: %w", total, err)
 		}

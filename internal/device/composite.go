@@ -1,6 +1,7 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -141,6 +142,13 @@ type CompositeDevice struct {
 	dispatchFree time.Duration
 	rr           int // mirror read round-robin cursor
 
+	// dead marks members that failed with ErrDeviceGone. Mirrors degrade
+	// gracefully: reads route around dead members, writes succeed while at
+	// least one replica remains (counted in degraded). Other layouts have no
+	// redundancy, so a gone member fails the IO.
+	dead     []bool
+	degraded int64
+
 	// frags is the per-Submit fragment scratch, reused so the steady-state
 	// Submit path does not allocate.
 	frags []fragment
@@ -182,6 +190,7 @@ func NewComposite(cfg CompositeConfig, members []Device) (*CompositeDevice, erro
 		members: members,
 		chunk:   cfg.ChunkBytes,
 		queues:  make([]memberQueue, len(members)),
+		dead:    make([]bool, len(members)),
 		frags:   make([]fragment, 0, len(members)+2),
 	}
 	for i := range d.queues {
@@ -247,6 +256,13 @@ func (d *CompositeDevice) QueueDepth() int { return d.cfg.QueueDepth }
 // IOs returns the number of host IOs serviced.
 func (d *CompositeDevice) IOs() int64 { return d.ios }
 
+// Dead reports whether member i has failed with ErrDeviceGone.
+func (d *CompositeDevice) Dead(i int) bool { return d.dead[i] }
+
+// DegradedWrites returns how many mirror writes completed with at least one
+// replica missing.
+func (d *CompositeDevice) DegradedWrites() int64 { return d.degraded }
+
 // Clone returns a deep copy of the whole array: every member device, the
 // queue rings, the dispatch clock and the scheduling cursor. It panics if a
 // member does not implement device.Cloneable (composites built from
@@ -265,6 +281,7 @@ func (d *CompositeDevice) Clone() *CompositeDevice {
 	for i := range d.queues {
 		g.queues[i] = d.queues[i].clone()
 	}
+	g.dead = append([]bool(nil), d.dead...)
 	g.frags = make([]fragment, 0, cap(d.frags))
 	return &g
 }
@@ -366,18 +383,26 @@ func (d *CompositeDevice) split(io IO) {
 	}
 }
 
-// pickMirrorRead returns the member with the fewest outstanding IOs at the
-// dispatcher's current time, scanning round-robin from a rotating cursor so
-// an idle array still alternates members deterministically.
+// pickMirrorRead returns the live member with the fewest outstanding IOs at
+// the dispatcher's current time, scanning round-robin from a rotating cursor
+// so an idle array still alternates members deterministically. It returns -1
+// when every member is dead. With no dead members the picks are identical to
+// the pre-degradation scheduler.
 func (d *CompositeDevice) pickMirrorRead() int {
 	at := d.dispatchFree
 	n := len(d.members)
-	best := d.rr % n
-	bestOut := d.queues[best].outstanding(at)
-	for i := 1; i < n && bestOut > 0; i++ {
+	best, bestOut := -1, 0
+	for i := 0; i < n; i++ {
 		m := (d.rr + i) % n
-		if out := d.queues[m].outstanding(at); out < bestOut {
+		if d.dead[m] {
+			continue
+		}
+		out := d.queues[m].outstanding(at)
+		if best < 0 || out < bestOut {
 			best, bestOut = m, out
+		}
+		if bestOut == 0 {
+			break
 		}
 	}
 	d.rr++
@@ -415,7 +440,9 @@ func (d *CompositeDevice) SubmitBatch(at time.Duration, ios []IO, done []time.Du
 }
 
 // service is the shared body of Submit and SubmitBatch: one IO through the
-// fragment dispatcher.
+// fragment dispatcher. Mirrors degrade gracefully when a member fails with
+// ErrDeviceGone: the member is marked dead, reads re-pick among the live
+// members, and writes complete as long as one replica took the data.
 func (d *CompositeDevice) service(at time.Duration, io IO) (time.Duration, error) {
 	if err := checkIO(io, d.capacity); err != nil {
 		return 0, err
@@ -425,9 +452,18 @@ func (d *CompositeDevice) service(at time.Duration, io IO) (time.Duration, error
 		d.dispatchFree = at
 	}
 	d.split(io)
+	mirror := d.cfg.Layout == LayoutMirror
+	if mirror && io.Mode == Read && d.frags[0].member < 0 {
+		return 0, fmt.Errorf("device %s: all mirror members gone: %w", d.cfg.Name, ErrDeviceGone)
+	}
 	var done time.Duration
+	replicas := 0
 	for i := range d.frags {
 		f := &d.frags[i]
+		if mirror && io.Mode == Write && d.dead[f.member] {
+			continue
+		}
+	submit:
 		q := &d.queues[f.member]
 		admit := d.dispatchFree
 		// A full queue blocks the dispatcher until the oldest outstanding
@@ -437,12 +473,32 @@ func (d *CompositeDevice) service(at time.Duration, io IO) (time.Duration, error
 		}
 		end, err := d.members[f.member].Submit(admit, IO{Mode: io.Mode, Off: f.off, Size: f.size})
 		if err != nil {
+			if mirror && errors.Is(err, ErrDeviceGone) {
+				d.dead[f.member] = true
+				if io.Mode == Read {
+					if m := d.pickMirrorRead(); m >= 0 {
+						f.member = m
+						goto submit
+					}
+					return 0, fmt.Errorf("device %s: all mirror members gone: %w", d.cfg.Name, ErrDeviceGone)
+				}
+				continue // write: drop the replica, the survivors carry it
+			}
 			return 0, fmt.Errorf("device %s: member %d: %w", d.cfg.Name, f.member, err)
 		}
 		q.push(end)
 		d.dispatchFree = admit
 		if end > done {
 			done = end
+		}
+		replicas++
+	}
+	if mirror && io.Mode == Write {
+		if replicas == 0 {
+			return 0, fmt.Errorf("device %s: all mirror members gone: %w", d.cfg.Name, ErrDeviceGone)
+		}
+		if replicas < len(d.members) {
+			d.degraded++
 		}
 	}
 	return done, nil

@@ -67,6 +67,7 @@ func FuzzSubmitBatchEquivalence(f *testing.F) {
 		serial := batch.Clone()
 
 		at := time.Duration(seed&0xff) * time.Millisecond
+		doneIn := append([]time.Duration(nil), done...)
 		doneSerial := append([]time.Duration(nil), done...)
 		errBatch := batch.SubmitBatch(at, ios, done)
 		errSerial := SerialSubmitBatch(serial, at, append([]IO(nil), ios...), doneSerial)
@@ -100,6 +101,54 @@ func FuzzSubmitBatchEquivalence(f *testing.F) {
 		}
 		if gotB != gotS {
 			t.Fatalf("post-batch state drift: probe completes at %v batched, %v serial", gotB, gotS)
+		}
+
+		// Faulty-wrapped pair: an armed fault schedule consumes one op index
+		// per IO in batch order, so the wrapper must preserve the same
+		// batch/serial equivalence — injected errors, spikes and stalls
+		// included.
+		cfg := FaultConfig{
+			Seed:         seed,
+			ReadErrRate:  float64(seed>>8&0x3) * 0.1,
+			WriteErrRate: float64(seed>>10&0x3) * 0.1,
+			Spike:        time.Duration(seed>>12&0x3+1) * 100 * time.Microsecond,
+			SpikeRate:    0.25,
+			Stall:        time.Duration(seed>>14&0x3) * 100 * time.Microsecond,
+			StallRate:    0.25,
+			ErrOff:       seed >> 16 & 0xff * 65536,
+		}
+		fBase := newSim(t, writeBack, lag)
+		fBatch := NewFaulty(cfg, fBase)
+		fSerial := NewFaulty(cfg, fBase.Clone())
+		doneFB := append([]time.Duration(nil), doneIn...)
+		doneFS := append([]time.Duration(nil), doneIn...)
+		errFB := fBatch.SubmitBatch(at, ios, doneFB)
+		errFS := SerialSubmitBatch(fSerial, at, append([]IO(nil), ios...), doneFS)
+		switch {
+		case (errFB == nil) != (errFS == nil):
+			t.Fatalf("faulty error divergence: batch=%v serial=%v", errFB, errFS)
+		case errFB != nil && errFB.Error() != errFS.Error():
+			t.Fatalf("faulty error text divergence:\n batch:  %v\n serial: %v", errFB, errFS)
+		}
+		for i := range doneFB {
+			if errFB != nil {
+				be := errFB.(*BatchError)
+				if i >= be.Index {
+					break
+				}
+			}
+			if doneFB[i] != doneFS[i] {
+				t.Fatalf("faulty IO %d completes at %v batched, %v serial", i, doneFB[i], doneFS[i])
+			}
+		}
+		if fBatch.Ops() != fSerial.Ops() || fBatch.Injections() != fSerial.Injections() {
+			t.Fatalf("faulty schedule drift: batch ops=%d inj=%+v, serial ops=%d inj=%+v",
+				fBatch.Ops(), fBatch.Injections(), fSerial.Ops(), fSerial.Injections())
+		}
+		pB, peB := fBatch.Submit(probeAt, probe)
+		pS, peS := fSerial.Submit(probeAt, probe)
+		if (peB == nil) != (peS == nil) || (peB != nil && peB.Error() != peS.Error()) || pB != pS {
+			t.Fatalf("faulty probe drift: batch=(%v, %v) serial=(%v, %v)", pB, peB, pS, peS)
 		}
 	})
 }

@@ -1,0 +1,112 @@
+package device
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// FaultStats counts the faults a submit call site observed and the retries
+// it spent recovering from them. The executors aggregate one FaultStats per
+// run; it lands in the summary CSV and the report sections.
+type FaultStats struct {
+	// Faults is the number of failed submit attempts observed (every
+	// *BatchError surfaced, retried or not).
+	Faults int64
+	// Retries is the number of resubmissions performed after retryable
+	// faults.
+	Retries int64
+}
+
+// Add accumulates o into s.
+func (s *FaultStats) Add(o FaultStats) {
+	s.Faults += o.Faults
+	s.Retries += o.Retries
+}
+
+// Zero reports whether nothing was counted.
+func (s FaultStats) Zero() bool { return s.Faults == 0 && s.Retries == 0 }
+
+// RetryPolicy bounds how a submit call site recovers from transient device
+// faults. Backoff is simulated time: a retried IO is resubmitted
+// Backoff<<(attempt-1) after the point it would otherwise have been
+// submitted, so retry schedules are as deterministic as everything else.
+type RetryPolicy struct {
+	// Max is the maximum number of resubmissions per IO; <= 0 disables
+	// retrying (every fault is final).
+	Max int
+	// Backoff is the first retry's delay; consecutive retries of the same
+	// IO double it.
+	Backoff time.Duration
+}
+
+// DefaultRetryPolicy is the policy the executors use: a handful of quick
+// retries, enough to ride out probabilistic media errors without masking a
+// genuinely broken device.
+var DefaultRetryPolicy = RetryPolicy{Max: 4, Backoff: 200 * time.Microsecond}
+
+// Retryable classifies a fault: media errors are transient (a resubmission
+// re-draws the schedule), everything else — a gone device, an out-of-range
+// IO — is final. It sees through the wrapping of composites and batch
+// errors.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrMediaRead) || errors.Is(err, ErrMediaWrite)
+}
+
+// SubmitBatchRetry is SubmitBatch plus the retry policy: it submits the
+// batch, and when an IO fails with a retryable fault it resubmits the tail
+// of the batch — the failed IO re-encoded at its resolved submission time
+// plus the backoff — up to pol.Max times per IO. Completions of IOs before
+// a failure are final (the SubmitBatch contract keeps done[:Index] valid and
+// leaves the tail's input encodings untouched). Faults and retries are
+// counted into st when non-nil.
+//
+// ctx is checked before every attempt so a canceled job stops retrying
+// promptly; pass context.Background() where no cancellation applies.
+func SubmitBatchRetry(ctx context.Context, d Device, at time.Duration, ios []IO, done []time.Duration, pol RetryPolicy, st *FaultStats) error {
+	base := at
+	offset := 0
+	lastIdx, attempts := -1, 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := d.SubmitBatch(base, ios[offset:], done[offset:])
+		if err == nil {
+			return nil
+		}
+		var be *BatchError
+		if !errors.As(err, &be) {
+			return err
+		}
+		idx := offset + be.Index
+		if st != nil {
+			st.Faults++
+		}
+		if !Retryable(be.Err) {
+			return &BatchError{Index: idx, IO: be.IO, Err: be.Err}
+		}
+		if idx == lastIdx {
+			attempts++
+		} else {
+			lastIdx, attempts = idx, 1
+		}
+		if attempts > pol.Max {
+			return &BatchError{Index: idx, IO: be.IO, Err: be.Err}
+		}
+		// Rebase the failed IO to an absolute submission: its resolved
+		// time against the previous completion, pushed out by the backoff.
+		// Later IOs keep their encodings and resolve against the retried
+		// IO's eventual completion as before.
+		prev := base
+		if idx > 0 {
+			prev = done[idx-1]
+		}
+		done[idx] = resolveSubmit(done[idx], prev) + pol.Backoff<<(attempts-1)
+		base = prev
+		offset = idx
+		if st != nil {
+			st.Retries++
+		}
+	}
+}

@@ -68,6 +68,8 @@ type CompositeSnapshot struct {
 	DispatchFree time.Duration
 	RR           int
 	IOs          int64
+	Dead         []bool
+	Degraded     int64
 }
 
 // Snapshot captures the array's complete mutable state. Every member must
@@ -79,6 +81,8 @@ func (d *CompositeDevice) Snapshot() (*CompositeSnapshot, error) {
 		DispatchFree: d.dispatchFree,
 		RR:           d.rr,
 		IOs:          d.ios,
+		Dead:         append([]bool(nil), d.dead...),
+		Degraded:     d.degraded,
 	}
 	for i, m := range d.members {
 		ms, err := SnapshotDevice(m)
@@ -102,6 +106,8 @@ func (d *CompositeDevice) Restore(s *CompositeSnapshot) error {
 		return fmt.Errorf("device: snapshot has %d members, array %d", len(s.Members), len(d.members))
 	case len(s.Queues) != len(d.queues):
 		return fmt.Errorf("device: snapshot has %d queues, array %d", len(s.Queues), len(d.queues))
+	case s.Dead != nil && len(s.Dead) != len(d.members):
+		return fmt.Errorf("device: snapshot has %d dead marks, array %d members", len(s.Dead), len(d.members))
 	}
 	for i, qs := range s.Queues {
 		if len(qs.Ring) != len(d.queues[i].ring) {
@@ -123,6 +129,44 @@ func (d *CompositeDevice) Restore(s *CompositeSnapshot) error {
 	d.dispatchFree = s.DispatchFree
 	d.rr = s.RR
 	d.ios = s.IOs
+	for i := range d.dead {
+		d.dead[i] = s.Dead != nil && s.Dead[i]
+	}
+	d.degraded = s.Degraded
+	return nil
+}
+
+// FaultySnapshot is the state of a fault-injecting wrapper: the wrapped
+// device plus the schedule position, so a restored device resumes the fault
+// schedule exactly where the saved one stood.
+type FaultySnapshot struct {
+	Inner    *DeviceSnapshot
+	Op       int64
+	Dead     bool
+	Injected InjectionCounts
+}
+
+// Snapshot captures the wrapper's complete mutable state. The wrapped
+// device must itself be snapshotable.
+func (f *FaultyDevice) Snapshot() (*FaultySnapshot, error) {
+	inner, err := SnapshotDevice(f.inner)
+	if err != nil {
+		return nil, fmt.Errorf("device: faulty-wrapped %s: %w", f.inner.Name(), err)
+	}
+	return &FaultySnapshot{Inner: inner, Op: f.op, Dead: f.dead, Injected: f.injected}, nil
+}
+
+// Restore overwrites the wrapper's mutable state from the snapshot.
+func (f *FaultyDevice) Restore(s *FaultySnapshot) error {
+	if s == nil {
+		return fmt.Errorf("device: nil faulty snapshot")
+	}
+	if err := RestoreDevice(f.inner, s.Inner); err != nil {
+		return fmt.Errorf("device: faulty-wrapped: %w", err)
+	}
+	f.op = s.Op
+	f.dead = s.Dead
+	f.injected = s.Injected
 	return nil
 }
 
@@ -131,6 +175,7 @@ func (d *CompositeDevice) Restore(s *CompositeSnapshot) error {
 type DeviceSnapshot struct {
 	Sim       *SimSnapshot
 	Composite *CompositeSnapshot
+	Faulty    *FaultySnapshot
 }
 
 // SnapshotDevice captures a simulated device or composite array. Devices
@@ -150,6 +195,12 @@ func SnapshotDevice(d Device) (*DeviceSnapshot, error) {
 			return nil, err
 		}
 		return &DeviceSnapshot{Composite: s}, nil
+	case *FaultyDevice:
+		s, err := dev.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		return &DeviceSnapshot{Faulty: s}, nil
 	default:
 		return nil, fmt.Errorf("device: %T cannot be snapshotted", d)
 	}
@@ -172,6 +223,11 @@ func RestoreDevice(d Device, s *DeviceSnapshot) error {
 			return fmt.Errorf("device: snapshot is not a composite array")
 		}
 		return dev.Restore(s.Composite)
+	case *FaultyDevice:
+		if s.Faulty == nil {
+			return fmt.Errorf("device: snapshot is not a faulty wrapper")
+		}
+		return dev.Restore(s.Faulty)
 	default:
 		return fmt.Errorf("device: %T cannot be restored", d)
 	}

@@ -19,8 +19,10 @@ type Job struct {
 	// ID names the job in progress reports and errors.
 	ID string
 	// Run executes the job against its private device starting at the given
-	// virtual time and returns the measured run.
-	Run func(dev device.Device, startAt time.Duration) (*core.Run, error)
+	// virtual time and returns the measured run. The context is the
+	// execution's: a canceled job should stop promptly (retry loops check it
+	// between attempts).
+	Run func(ctx context.Context, dev device.Device, startAt time.Duration) (*core.Run, error)
 }
 
 // ExecuteJobs runs every job through the worker pool and returns the runs
@@ -49,7 +51,7 @@ func ExecuteJobs(ctx context.Context, jobs []Job, factory DeviceFactory, opts Op
 		if err != nil {
 			return fmt.Errorf("engine: job %d (%s): %w", s.Index, job.ID, err)
 		}
-		run, err := job.Run(dev, at)
+		run, err := job.Run(ctx, dev, at)
 		if err != nil {
 			return fmt.Errorf("engine: job %d (%s): %w", s.Index, job.ID, err)
 		}

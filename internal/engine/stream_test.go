@@ -22,7 +22,7 @@ func testJobs(n int) []engine.Job {
 		i := i
 		jobs[i] = engine.Job{
 			ID: fmt.Sprintf("job/%d", i),
-			Run: func(dev device.Device, startAt time.Duration) (*core.Run, error) {
+			Run: func(ctx context.Context, dev device.Device, startAt time.Duration) (*core.Run, error) {
 				p := core.RR.Pattern(core.Defaults{
 					IOSize: 16 * 1024, RandomTarget: dev.Capacity() / 2,
 					IOCount: 64, Seed: int64(i + 1),
@@ -64,7 +64,7 @@ func TestExecuteJobsDeterministic(t *testing.T) {
 
 func TestExecuteJobsError(t *testing.T) {
 	jobs := testJobs(3)
-	jobs[1].Run = func(device.Device, time.Duration) (*core.Run, error) {
+	jobs[1].Run = func(context.Context, device.Device, time.Duration) (*core.Run, error) {
 		return nil, errors.New("boom")
 	}
 	if _, err := engine.ExecuteJobs(context.Background(), jobs, testFactory(t), engine.Options{Workers: 2}); err == nil {

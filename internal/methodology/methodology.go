@@ -8,6 +8,7 @@
 package methodology
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -96,7 +97,11 @@ func enforceState(dev device.Device, seed int64, random bool) (time.Duration, er
 		if n == 0 {
 			break
 		}
-		if err := dev.SubmitBatch(t, ios[:n], done[:n]); err != nil {
+		// Transient faults during the fill are retried like everywhere else;
+		// enforcement stats are not part of any measured run, so they are
+		// not reported.
+		var st device.FaultStats
+		if err := device.SubmitBatchRetry(context.Background(), dev, t, ios[:n], done[:n], device.DefaultRetryPolicy, &st); err != nil {
 			var be *device.BatchError
 			if errors.As(err, &be) {
 				if be.Index > 0 {

@@ -16,7 +16,8 @@ import (
 // over every layout × member count × queue depth combination of composite
 // devices built from one member profile.
 type ArrayConfig struct {
-	// Member is the member device profile key (e.g. "mtron").
+	// Member is the member device spec (a profile key such as "mtron", or a
+	// faulty(...) wrapper around one).
 	Member string
 	// Layouts are the layouts to sweep; empty means stripe, mirror, concat.
 	Layouts []device.Layout
@@ -80,8 +81,14 @@ func ArraySweep(ctx context.Context, cfg Config, ac ArrayConfig, progress engine
 	if ac.Member == "" {
 		return nil, fmt.Errorf("paperexp: ArrayConfig.Member is required")
 	}
-	if _, err := profile.ByKey(ac.Member); err != nil {
+	// Validate the member spec (profile keys resolve against the table,
+	// faulty wrappers recursively) and canonicalize it so every sweep key —
+	// and thus every state-store entry — is spelled one way.
+	if _, err := profile.DescribeDevice(ac.Member); err != nil {
 		return nil, err
+	}
+	if canonical, err := profile.CanonicalSpec(ac.Member); err == nil {
+		ac.Member = canonical
 	}
 	var rows []report.ArrayRow
 	for _, layout := range ac.Layouts {

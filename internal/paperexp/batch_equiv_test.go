@@ -192,7 +192,7 @@ func TestBatchSubmitDifferentialWorkloads(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		run, err := workload.Replay(dev, ops, end+time.Second)
+		run, err := workload.Replay(context.Background(), dev, ops, end+time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -186,6 +186,8 @@ func Records(results *methodology.Results) []trace.RunRecord {
 			IOIgnore:     res.Run.IOIgnore,
 			Summary:      res.Run.Summary,
 			TotalSeconds: res.Run.Total.Seconds(),
+			Faults:       res.Run.Faults.Faults,
+			Retries:      res.Run.Faults.Retries,
 		}
 		rec.SetResponseTimes(res.Run.RTs)
 		records = append(records, rec)
@@ -206,6 +208,8 @@ func WorkloadRecords(res *workload.Result) []trace.RunRecord {
 			Value:        int64(i),
 			Summary:      run.Summary,
 			TotalSeconds: run.Total.Seconds(),
+			Faults:       run.Faults.Faults,
+			Retries:      run.Faults.Retries,
 		}
 		rec.SetResponseTimes(run.RTs)
 		records = append(records, rec)

@@ -108,18 +108,17 @@ func prepareSim(key string, cfg Config) (device.Cloneable, time.Duration, error)
 }
 
 // StateKey returns the state-store key of a device spec under cfg: the spec
-// canonicalized (array expressions through ParseArraySpec.String, so
-// equivalent spellings share one cache entry), a fingerprint of the resolved
-// profile parameters (so editing a profile is a cache miss, never a stale
-// hit), the per-member capacity, the enforcement seed and the enforcement
-// kind. An unresolvable spec leaves the fingerprint empty; building such a
-// device fails before the key is ever used.
+// canonicalized (array and faulty expressions through their parsers'
+// canonical String forms, so equivalent spellings share one cache entry —
+// and different fault schedules never share one), a fingerprint of the
+// resolved profile parameters (so editing a profile is a cache miss, never a
+// stale hit), the per-member capacity, the enforcement seed and the
+// enforcement kind. An unresolvable spec leaves the fingerprint empty;
+// building such a device fails before the key is ever used.
 func StateKey(key string, cfg Config) statestore.Key {
 	canonical := key
-	if profile.IsArraySpec(key) {
-		if s, err := profile.ParseArraySpec(key); err == nil {
-			canonical = s.String()
-		}
+	if c, err := profile.CanonicalSpec(key); err == nil {
+		canonical = c
 	}
 	fp, err := profile.Fingerprint(key)
 	if err != nil {

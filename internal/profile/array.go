@@ -14,15 +14,17 @@ import (
 //
 //	spec   := layout '(' arg (',' arg)* ')'
 //	layout := "stripe" | "mirror" | "concat"
-//	arg    := COUNT          member count (optional; replicates a single key)
+//	arg    := COUNT          member count (optional; replicates a single member)
 //	        | KEY '=' VALUE  option: chunk=<bytes, k/m suffixes>, qd=<depth>
 //	        | PROFILE        member device profile key
+//	        | FAULTY         fault-injected member, a nested faulty(...) spec
 //
 // Examples: "stripe(2,mtron,mtron)", "stripe(4,mtron,chunk=64k,qd=8)",
-// "mirror(mtron,samsung)", "concat(2,kingston-dti)". A count given with a
-// single profile key replicates that key; a count given with several keys
-// must match their number. Options may appear anywhere after the layout.
-// Member capacity is chosen at build time and applies per member.
+// "mirror(mtron,samsung)", "concat(2,kingston-dti)",
+// "mirror(mtron,faulty(mtron,failat=100))". A count given with a single
+// member replicates it; a count given with several members must match their
+// number. Options may appear anywhere after the layout. Member capacity is
+// chosen at build time and applies per member.
 
 // MaxArrayMembers bounds the member count of a parsed array spec.
 const MaxArrayMembers = 64
@@ -53,8 +55,10 @@ type ArraySpec struct {
 var memberKeyRE = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
 
 // IsArraySpec reports whether spec looks like an array expression rather
-// than a plain profile key.
-func IsArraySpec(spec string) bool { return strings.ContainsRune(spec, '(') }
+// than a plain profile key or a faulty(...) wrapper.
+func IsArraySpec(spec string) bool {
+	return strings.ContainsRune(spec, '(') && !IsFaultySpec(spec)
+}
 
 // ParseArraySpec parses an array spec. Member keys are validated
 // syntactically here and resolved against the profile table at Build time.
@@ -73,11 +77,22 @@ func ParseArraySpec(spec string) (*ArraySpec, error) {
 		QueueDepth: device.DefaultQueueDepth,
 	}
 	count := -1
-	for _, arg := range strings.Split(spec[open+1:len(spec)-1], ",") {
+	for _, arg := range splitArgs(spec[open+1 : len(spec)-1]) {
 		arg = strings.TrimSpace(arg)
 		switch {
 		case arg == "":
 			return nil, fmt.Errorf("profile: array spec %q has an empty argument", spec)
+		case IsFaultySpec(arg):
+			// A fault-injected member, e.g. mirror(mtron,faulty(mtron,failat=9)).
+			// Checked before the option branch: nested specs contain '='.
+			member, err := ParseFaultySpec(arg)
+			if err != nil {
+				return nil, fmt.Errorf("profile: array spec %q: %w", spec, err)
+			}
+			if len(s.MemberKeys) >= MaxArrayMembers {
+				return nil, fmt.Errorf("profile: array spec %q lists more than %d members", spec, MaxArrayMembers)
+			}
+			s.MemberKeys = append(s.MemberKeys, member.String())
 		case strings.ContainsRune(arg, '='):
 			k, v, _ := strings.Cut(arg, "=")
 			if err := s.setOption(strings.TrimSpace(k), strings.TrimSpace(v)); err != nil {
@@ -193,11 +208,7 @@ func (s *ArraySpec) String() string {
 func (s *ArraySpec) Build(perMemberCapacity int64) (*device.CompositeDevice, error) {
 	members := make([]device.Device, len(s.MemberKeys))
 	for i, key := range s.MemberKeys {
-		p, err := ByKey(key)
-		if err != nil {
-			return nil, err
-		}
-		dev, err := p.BuildWithCapacity(perMemberCapacity)
+		dev, err := BuildDevice(key, perMemberCapacity)
 		if err != nil {
 			return nil, err
 		}
@@ -212,10 +223,18 @@ func (s *ArraySpec) Build(perMemberCapacity int64) (*device.CompositeDevice, err
 }
 
 // BuildDevice builds the device a spec names: a single simulated device when
-// spec is a profile key, a composite array when it is an array expression.
-// capacity is the logical capacity — per member for arrays. Both kinds are
-// cloneable, so the engine's snapshotting master works for either.
+// spec is a profile key, a composite array when it is an array expression, a
+// fault-injecting wrapper when it is a faulty(...) expression. capacity is
+// the logical capacity — per member for arrays. Every kind is cloneable, so
+// the engine's snapshotting master works for any spec.
 func BuildDevice(spec string, capacity int64) (device.Cloneable, error) {
+	if IsFaultySpec(spec) {
+		s, err := ParseFaultySpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return s.Build(capacity)
+	}
 	if IsArraySpec(spec) {
 		s, err := ParseArraySpec(spec)
 		if err != nil {
@@ -231,9 +250,21 @@ func BuildDevice(spec string, capacity int64) (device.Cloneable, error) {
 }
 
 // DescribeDevice returns a one-line human description of a spec: the profile
-// description for plain keys, the canonical spec with member descriptions for
-// arrays.
+// description for plain keys, the canonical spec with member descriptions
+// for arrays, the canonical spec over the wrapped description for faulty
+// wrappers.
 func DescribeDevice(spec string) (string, error) {
+	if IsFaultySpec(spec) {
+		s, err := ParseFaultySpec(spec)
+		if err != nil {
+			return "", err
+		}
+		inner, err := DescribeDevice(s.Inner)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s injecting faults into %s", s.String(), inner), nil
+	}
 	if !IsArraySpec(spec) {
 		p, err := ByKey(spec)
 		if err != nil {
@@ -252,11 +283,11 @@ func DescribeDevice(spec string) (string, error) {
 			continue
 		}
 		seen[key] = true
-		p, err := ByKey(key)
+		desc, err := DescribeDevice(key)
 		if err != nil {
 			return "", err
 		}
-		parts = append(parts, p.String())
+		parts = append(parts, desc)
 	}
 	return fmt.Sprintf("%s over %s", s.String(), strings.Join(parts, ", ")), nil
 }

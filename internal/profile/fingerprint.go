@@ -15,26 +15,50 @@ import (
 // profile number invalidates the states it produced instead of silently
 // serving a device that no longer exists.
 func Fingerprint(spec string) (string, error) {
-	if IsArraySpec(spec) {
-		s, err := ParseArraySpec(spec)
-		if err != nil {
-			return "", err
-		}
-		ps := make([]Profile, len(s.MemberKeys))
-		for i, key := range s.MemberKeys {
-			p, err := ByKey(key)
-			if err != nil {
-				return "", err
-			}
-			ps[i] = p
-		}
-		return fingerprintProfiles(s.String(), ps)
-	}
-	p, err := ByKey(spec)
+	canonical, err := CanonicalSpec(spec)
 	if err != nil {
 		return "", err
 	}
-	return fingerprintProfiles(p.Key, []Profile{p})
+	ps, err := resolveProfiles(spec)
+	if err != nil {
+		return "", err
+	}
+	return fingerprintProfiles(canonical, ps)
+}
+
+// resolveProfiles collects the profile of every simulated device behind a
+// spec, in member order, recursing through arrays and faulty wrappers. The
+// fault schedule itself needs no hashing here: it is part of the canonical
+// spec string the fingerprint (and the state-store key) already embeds.
+func resolveProfiles(spec string) ([]Profile, error) {
+	switch {
+	case IsFaultySpec(spec):
+		s, err := ParseFaultySpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return resolveProfiles(s.Inner)
+	case IsArraySpec(spec):
+		s, err := ParseArraySpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		var ps []Profile
+		for _, key := range s.MemberKeys {
+			mps, err := resolveProfiles(key)
+			if err != nil {
+				return nil, err
+			}
+			ps = append(ps, mps...)
+		}
+		return ps, nil
+	default:
+		p, err := ByKey(spec)
+		if err != nil {
+			return nil, err
+		}
+		return []Profile{p}, nil
+	}
 }
 
 // fingerprintProfiles hashes the canonical spec and the JSON form of each

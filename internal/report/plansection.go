@@ -33,6 +33,16 @@ func PlanSection(w io.Writer, micros []core.Microbenchmark, res *methodology.Res
 			return err
 		}
 	}
+	var faults, retries int64
+	for _, r := range res.Results {
+		faults += r.Run.Faults.Faults
+		retries += r.Run.Faults.Retries
+	}
+	if faults != 0 || retries != 0 {
+		if _, err := fmt.Fprintf(w, "faults: %d observed across the plan, %d retries spent recovering\n\n", faults, retries); err != nil {
+			return err
+		}
+	}
 	char := Characterize(res, ioSize)
 	return CharacterTable([]DeviceCharacter{char}).Render(w)
 }

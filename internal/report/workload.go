@@ -39,6 +39,12 @@ func WorkloadSection(w io.Writer, res *workload.Result) error {
 		res.P50.Seconds()*1e3, res.P95.Seconds()*1e3, res.P99.Seconds()*1e3); err != nil {
 		return err
 	}
+	if !res.Faults.Zero() {
+		if _, err := fmt.Fprintf(w, "faults: %d observed, %d retries spent recovering\n",
+			res.Faults.Faults, res.Faults.Retries); err != nil {
+			return err
+		}
+	}
 	if len(res.Segments) <= 1 {
 		return nil
 	}

@@ -112,6 +112,11 @@ type Config struct {
 	TenantQueue int
 	// MaxTraceBytes bounds an uploaded block-trace CSV (<= 0: 8 MiB).
 	MaxTraceBytes int64
+	// JobTimeout bounds one job's wall-clock execution; a job still running
+	// when it expires is killed and reported failed (with a typed "failed"
+	// event naming the timeout), not canceled — cancellation is reserved for
+	// explicit DELETE and shutdown. <= 0 disables the watchdog.
+	JobTimeout time.Duration
 }
 
 func (c Config) queueSize() int {
@@ -517,7 +522,9 @@ func (s *Server) validate(req *JobRequest) error {
 		if req.Array == nil || req.Array.Member == "" {
 			return fmt.Errorf("array jobs need an array.member profile")
 		}
-		if _, err := profile.ByKey(req.Array.Member); err != nil {
+		// DescribeDevice, not ByKey: a faulty(...)-wrapped member is a valid
+		// sweep member and must pass submission validation.
+		if _, err := profile.DescribeDevice(req.Array.Member); err != nil {
 			return err
 		}
 		for _, l := range req.Array.Layouts {
@@ -879,6 +886,10 @@ func (s *Server) persistFinished(j *job) {
 	}
 }
 
+// errJobTimeout is the cancellation cause the per-job watchdog installs;
+// runJob distinguishes it from an explicit DELETE via context.Cause.
+var errJobTimeout = errors.New("job exceeded the configured timeout")
+
 // runJob executes one job on a worker goroutine.
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
@@ -887,6 +898,15 @@ func (s *Server) runJob(j *job) {
 		return // canceled while queued
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
+	if t := s.cfg.JobTimeout; t > 0 {
+		// The watchdog rides the same context the executors (and the device
+		// retry loops under them) already check, so a wedged job dies at the
+		// next submission attempt; the cause tells the status switch below
+		// that this death is a failure, not a cancellation.
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeoutCause(ctx, t, errJobTimeout)
+		defer cancelTimeout()
+	}
 	j.status = StatusRunning
 	j.started = s.now()
 	j.cancel = cancel
@@ -913,6 +933,12 @@ func (s *Server) runJob(j *job) {
 	switch {
 	case err == nil:
 		j.status = StatusDone
+	case context.Cause(ctx) == errJobTimeout:
+		// Checked before the cancellation case: a timeout also trips ctx.Err,
+		// but it is the daemon killing a wedged job, not the user changing
+		// their mind — clients must see a failure, not a cancellation.
+		j.status = StatusFailed
+		j.errText = fmt.Sprintf("%v after %v", errJobTimeout, s.cfg.JobTimeout)
 	case ctx.Err() != nil && !shutdown:
 		j.status = StatusCanceled
 		j.errText = err.Error()

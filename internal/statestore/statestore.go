@@ -11,9 +11,11 @@
 // States are content-addressed: the file name is a SHA-256 over the
 // canonical key, so distinct configurations never collide and a key change
 // is automatically a cache miss. Files carry a magic number, a format
-// version, the key hash and a CRC of the payload; truncated or corrupted
-// files fail loudly on load — they are never silently mis-loaded or treated
-// as a miss.
+// version, the key hash and a CRC of the payload; a truncated or corrupted
+// file is never silently mis-loaded — Load quarantines it (renamed to
+// <file>.corrupt, logged on stderr) and reports a miss, so the caller falls
+// through to live enforcement and re-saves a healthy state while the
+// quarantined bytes remain on disk for inspection.
 package statestore
 
 import (
@@ -190,9 +192,14 @@ func (s *Store) Save(k Key, dev device.Device, at time.Duration) error {
 // Load restores the key's persisted state into dev, which must be a freshly
 // built device of the same spec and capacity. It returns the virtual time
 // enforcement finished and whether the key was found. A missing file is a
-// miss (hit=false, err=nil); an unreadable, truncated, corrupted or
-// mismatched file is an error — corrupted caches must fail loudly, never
-// mis-load.
+// miss (hit=false, err=nil). A truncated, corrupted or mismatched file is
+// quarantined — renamed to <file>.corrupt and logged on stderr — and then
+// reported as a miss, so the caller re-enforces live and Save replaces the
+// state; the corrupt bytes stay on disk for inspection instead of poisoning
+// every later run. Quarantine happens strictly before any state reaches dev,
+// so a post-quarantine enforcement is byte-identical to a cold run. Only a
+// restore that fails after validation (a store/device version skew, not disk
+// corruption) is a hard error, because dev may be partially mutated.
 func (s *Store) Load(k Key, dev device.Device) (at time.Duration, hit bool, err error) {
 	f, err := os.Open(s.Path(k))
 	if os.IsNotExist(err) {
@@ -202,53 +209,61 @@ func (s *Store) Load(k Key, dev device.Device) (at time.Duration, hit bool, err 
 		return 0, false, fmt.Errorf("statestore: %w", err)
 	}
 	defer f.Close()
-	fail := func(format string, args ...any) (time.Duration, bool, error) {
-		return 0, false, fmt.Errorf("statestore: %s: "+format, append([]any{s.Path(k)}, args...)...)
+	quarantine := func(format string, args ...any) (time.Duration, bool, error) {
+		path := s.Path(k)
+		reason := fmt.Sprintf(format, args...)
+		if rerr := os.Rename(path, path+".corrupt"); rerr != nil {
+			// Cannot move it aside: surface both problems rather than spin
+			// on the same corrupt file forever.
+			return 0, false, fmt.Errorf("statestore: %s: %s; quarantine failed: %v", path, reason, rerr)
+		}
+		fmt.Fprintf(os.Stderr, "statestore: %s: %s; quarantined as %s.corrupt, re-enforcing live\n", path, reason, filepath.Base(path))
+		return 0, false, nil
 	}
 	hdr := make([]byte, len(magic)+4+32+8+8)
 	if _, err := io.ReadFull(f, hdr); err != nil {
-		return fail("truncated header: %v", err)
+		return quarantine("truncated header: %v", err)
 	}
 	if string(hdr[:len(magic)]) != magic {
-		return fail("bad magic: not a uFLIP state file")
+		return quarantine("bad magic: not a uFLIP state file")
 	}
 	rest := hdr[len(magic):]
 	if v := binary.LittleEndian.Uint32(rest[0:4]); v != version {
-		return fail("format version %d, want %d", v, version)
+		return quarantine("format version %d, want %d", v, version)
 	}
 	sum := sha256.Sum256([]byte(k.String()))
 	if !bytes.Equal(rest[4:36], sum[:]) {
-		return fail("key hash mismatch (file does not belong to %s)", k)
+		return quarantine("key hash mismatch (file does not belong to %s)", k)
 	}
 	plen := binary.LittleEndian.Uint64(rest[36:44])
 	wantCRC := binary.LittleEndian.Uint64(rest[44:52])
 	// Bound the allocation by the actual file size before trusting the
-	// header's length field: a corrupted length must fail loudly, not
+	// header's length field: a corrupted length must be caught here, not
 	// commit gigabytes of memory. Exact equality also rejects truncated
 	// files and trailing garbage.
 	fi, err := f.Stat()
 	if err != nil {
-		return fail("stat: %v", err)
+		return 0, false, fmt.Errorf("statestore: %s: stat: %w", s.Path(k), err)
 	}
 	if plen == 0 || int64(plen) != fi.Size()-int64(len(hdr)) {
-		return fail("payload length %d inconsistent with file size %d", plen, fi.Size())
+		return quarantine("payload length %d inconsistent with file size %d", plen, fi.Size())
 	}
 	payload := make([]byte, plen)
 	if _, err := io.ReadFull(f, payload); err != nil {
-		return fail("truncated payload: %v", err)
+		return quarantine("truncated payload: %v", err)
 	}
 	if got := crc64.Checksum(payload, crcTable); got != wantCRC {
-		return fail("payload checksum mismatch (corrupted state)")
+		return quarantine("payload checksum mismatch (corrupted state)")
 	}
 	var sv saved
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&sv); err != nil {
-		return fail("decode: %v", err)
+		return quarantine("decode: %v", err)
 	}
 	if sv.Key != k {
-		return fail("stored key %s does not match %s", sv.Key, k)
+		return quarantine("stored key %s does not match %s", sv.Key, k)
 	}
 	if err := device.RestoreDevice(dev, sv.Dev); err != nil {
-		return fail("restore: %v", err)
+		return 0, false, fmt.Errorf("statestore: %s: restore: %w", s.Path(k), err)
 	}
 	return sv.At, true, nil
 }

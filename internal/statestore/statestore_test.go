@@ -1,6 +1,7 @@
 package statestore_test
 
 import (
+	"bytes"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -136,10 +137,11 @@ func TestKeyHashSeparatesConfigurations(t *testing.T) {
 	}
 }
 
-// TestCorruptedFilesFailLoudly pins the store's central safety property: a
-// damaged state file is an error on load — never a silent mis-load, never a
-// silent cache miss.
-func TestCorruptedFilesFailLoudly(t *testing.T) {
+// TestCorruptedFilesAreQuarantined pins the store's central safety property:
+// a damaged state file is never silently mis-loaded. Load moves it aside to
+// <file>.corrupt — preserving the bytes for inspection — and reports a miss,
+// so the caller re-enforces live and Save replaces the state.
+func TestCorruptedFilesAreQuarantined(t *testing.T) {
 	dir := t.TempDir()
 	store, err := statestore.Open(dir)
 	if err != nil {
@@ -155,26 +157,45 @@ func TestCorruptedFilesFailLoudly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	freshLoad := func() error {
+	freshLoad := func(t *testing.T) (bool, error) {
+		t.Helper()
 		dev, err := profile.BuildDevice("kingston-dti", testCapacity)
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, _, err = store.Load(k, dev)
-		return err
+		_, hit, err := store.Load(k, dev)
+		return hit, err
 	}
-	if err := freshLoad(); err != nil {
-		t.Fatalf("pristine file failed to load: %v", err)
+	if hit, err := freshLoad(t); err != nil || !hit {
+		t.Fatalf("pristine file failed to load: hit=%v err=%v", hit, err)
 	}
 
 	corrupt := func(name string, mutate func([]byte) []byte) {
 		t.Run(name, func(t *testing.T) {
-			if err := os.WriteFile(path, mutate(append([]byte(nil), pristine...)), 0o644); err != nil {
+			damaged := mutate(append([]byte(nil), pristine...))
+			if err := os.WriteFile(path, damaged, 0o644); err != nil {
 				t.Fatal(err)
 			}
-			defer os.WriteFile(path, pristine, 0o644)
-			if err := freshLoad(); err == nil {
-				t.Fatal("corrupted state file loaded without error")
+			defer func() {
+				os.Remove(path + ".corrupt")
+				os.WriteFile(path, pristine, 0o644)
+			}()
+			hit, err := freshLoad(t)
+			if err != nil {
+				t.Fatalf("corrupted state file errored instead of quarantining: %v", err)
+			}
+			if hit {
+				t.Fatal("corrupted state file loaded as a hit")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupted file still in place (stat err=%v); it must move to .corrupt", err)
+			}
+			moved, err := os.ReadFile(path + ".corrupt")
+			if err != nil {
+				t.Fatalf("quarantined file missing: %v", err)
+			}
+			if !bytes.Equal(moved, damaged) {
+				t.Fatal("quarantined bytes differ from the damaged file")
 			}
 		})
 	}
@@ -191,12 +212,16 @@ func TestCorruptedFilesFailLoudly(t *testing.T) {
 		if err := os.WriteFile(store.Path(other), pristine, 0o644); err != nil {
 			t.Fatal(err)
 		}
+		defer os.Remove(store.Path(other) + ".corrupt")
 		dev, err := profile.BuildDevice("mtron", testCapacity)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := store.Load(other, dev); err == nil {
-			t.Fatal("state saved for one key loaded under another")
+		if _, hit, err := store.Load(other, dev); err != nil || hit {
+			t.Fatalf("foreign key file: hit=%v err=%v, want quarantined miss", hit, err)
+		}
+		if _, err := os.Stat(store.Path(other) + ".corrupt"); err != nil {
+			t.Fatalf("foreign key file not quarantined: %v", err)
 		}
 	})
 
@@ -209,6 +234,69 @@ func TestCorruptedFilesFailLoudly(t *testing.T) {
 			t.Fatalf("temp files left behind: %v", matches)
 		}
 	})
+}
+
+// TestQuarantineRecoversByteIdentical is the corruption regression test: flip
+// one payload byte in a saved state, then run the load-or-enforce sequence
+// every caller uses. The corrupt file must quarantine as a miss, the live
+// re-enforcement must reproduce the state byte-identically to a cold run with
+// no store at all, and the re-saved file must serve later loads again.
+func TestQuarantineRecoversByteIdentical(t *testing.T) {
+	store, err := statestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("memoright")
+	live, at := enforcedDevice(t, "memoright")
+	if err := store.Save(k, live, at); err != nil {
+		t.Fatal(err)
+	}
+	path := store.Path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-9] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The caller-side sequence: load (must quarantine to a miss), enforce
+	// live, save.
+	recovered, err := profile.BuildDevice("memoright", testCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := store.Load(k, recovered); err != nil || hit {
+		t.Fatalf("corrupt load: hit=%v err=%v, want quarantined miss", hit, err)
+	}
+	recAt, err := methodology.EnforceRandomState(recovered, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recAt != at {
+		t.Fatalf("re-enforcement finished at %v, cold run at %v", recAt, at)
+	}
+	if err := store.Save(k, recovered, recAt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-identical to a cold run: same completions under an adversarial IO
+	// mix, and the re-saved file loads as a hit that behaves the same.
+	cold, coldAt := enforcedDevice(t, "memoright")
+	if coldAt != at {
+		t.Fatalf("cold enforcement at %v, want %v", coldAt, at)
+	}
+	driveBoth(t, cold, recovered, 11)
+	reloaded, err := profile.BuildDevice("memoright", testCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := store.Load(k, reloaded); err != nil || !hit {
+		t.Fatalf("re-saved state: hit=%v err=%v, want clean hit", hit, err)
+	}
+	cold2, _ := enforcedDevice(t, "memoright")
+	driveBoth(t, cold2, reloaded, 13)
 }
 
 // TestRestoreIntoWrongDeviceFails: a valid file must refuse to restore into

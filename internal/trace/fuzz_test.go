@@ -12,14 +12,14 @@ import (
 // CSV line-ending normalizations; after that, write -> read -> write must be
 // a fixed point).
 func FuzzReadSummaryCSV(f *testing.F) {
-	header := "id,device,micro,base,param,value,n,min_s,max_s,mean_s,stddev_s,total_s\n"
+	header := "id,device,micro,base,param,value,n,min_s,max_s,mean_s,stddev_s,total_s,faults,retries\n"
 	for _, seed := range []string{
-		header + "Granularity/SW/IOSize=32768,mtron,Granularity,SW,IOSize,32768,1024,0.0001,0.01,0.0005,0.0002,1.5\n",
-		header + "a,b,c,d,e,0,0,0,0,0,0,0\n",
-		header + "\"quo,ted\",b,c,d,e,1,2,NaN,+Inf,-0,1e-300,0.25\n",
+		header + "Granularity/SW/IOSize=32768,mtron,Granularity,SW,IOSize,32768,1024,0.0001,0.01,0.0005,0.0002,1.5,0,0\n",
+		header + "a,b,c,d,e,0,0,0,0,0,0,0,0,0\n",
+		header + "\"quo,ted\",b,c,d,e,1,2,NaN,+Inf,-0,1e-300,0.25,3,7\n",
 		header,
 		"wrong,header\n1,2\n",
-		header + "a,b,c,d,e,notanint,0,0,0,0,0,0\n",
+		header + "a,b,c,d,e,notanint,0,0,0,0,0,0,0,0\n",
 	} {
 		f.Add([]byte(seed))
 	}

@@ -35,6 +35,11 @@ type RunRecord struct {
 	Summary stats.Summary `json:"summary"`
 	// TotalSeconds is the end-to-end run duration.
 	TotalSeconds float64 `json:"total_seconds"`
+	// Faults and Retries count the device faults observed during the run
+	// and the resubmissions spent recovering from them (zero on a healthy
+	// device).
+	Faults  int64 `json:"faults,omitempty"`
+	Retries int64 `json:"retries,omitempty"`
 	// RTs holds per-IO response times in seconds (optional: summaries
 	// alone are much smaller).
 	RTs []float64 `json:"rts,omitempty"`
@@ -163,11 +168,11 @@ func lossless(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // summaryHeader is the column layout of the summary CSV. Times are stored in
 // seconds at full precision; multiply by 1e3 for the milliseconds the paper
 // reports.
-var summaryHeader = []string{"id", "device", "micro", "base", "param", "value", "n", "min_s", "max_s", "mean_s", "stddev_s", "total_s"}
+var summaryHeader = []string{"id", "device", "micro", "base", "param", "value", "n", "min_s", "max_s", "mean_s", "stddev_s", "total_s", "faults", "retries"}
 
 // WriteSummaryCSV writes one row per run: id, device, micro, base, param,
 // value, n, min, max, mean, stddev, total (times in seconds, formatted
-// losslessly so write -> read -> write is byte-stable).
+// losslessly so write -> read -> write is byte-stable), faults, retries.
 func WriteSummaryCSV(w io.Writer, records []RunRecord) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(summaryHeader); err != nil {
@@ -181,6 +186,8 @@ func WriteSummaryCSV(w io.Writer, records []RunRecord) error {
 			strconv.FormatInt(r.Summary.N, 10),
 			lossless(r.Summary.Min), lossless(r.Summary.Max), lossless(r.Summary.Mean), lossless(r.Summary.StdDev),
 			lossless(r.TotalSeconds),
+			strconv.FormatInt(r.Faults, 10),
+			strconv.FormatInt(r.Retries, 10),
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("trace: %w", err)
@@ -235,6 +242,12 @@ func ReadSummaryCSV(r io.Reader) ([]RunRecord, error) {
 		}
 		if rec.Summary.N, err = strconv.ParseInt(row[6], 10, 64); err != nil {
 			return nil, fmt.Errorf("trace: summary row %d n: %w", i+1, err)
+		}
+		if rec.Faults, err = strconv.ParseInt(row[12], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: summary row %d faults: %w", i+1, err)
+		}
+		if rec.Retries, err = strconv.ParseInt(row[13], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: summary row %d retries: %w", i+1, err)
 		}
 		for _, f := range fields {
 			if *f.dst, err = strconv.ParseFloat(f.text, 64); err != nil {

@@ -55,8 +55,11 @@ type Generator interface {
 // op i is submitted at submit(i-1) + Gap(i). A busy device queues the
 // request, and the wait is part of the measured response time. The returned
 // run summarizes every op (IOIgnore 0 — replays have no methodology-defined
-// warm-up to discard).
-func Replay(dev device.Device, ops []Op, startAt time.Duration) (*core.Run, error) {
+// warm-up to discard). Transient device faults are retried under the default
+// policy and counted in the run's FaultStats; ctx cancels the replay between
+// batches and inside the retry loop, so a canceled job stops promptly even
+// mid-recovery.
+func Replay(ctx context.Context, dev device.Device, ops []Op, startAt time.Duration) (*core.Run, error) {
 	if len(ops) == 0 {
 		return nil, fmt.Errorf("workload: empty op stream")
 	}
@@ -89,7 +92,7 @@ func Replay(dev device.Device, ops []Op, startAt time.Duration) (*core.Run, erro
 			done[k] = t
 			run.SubmitTimes = append(run.SubmitTimes, t)
 		}
-		if err := dev.SubmitBatch(done[0], ios[:n], done[:n]); err != nil {
+		if err := device.SubmitBatchRetry(ctx, dev, done[0], ios[:n], done[:n], device.DefaultRetryPolicy, &run.Faults); err != nil {
 			var be *device.BatchError
 			if errors.As(err, &be) {
 				i := base + be.Index
@@ -190,6 +193,8 @@ type Result struct {
 	// Elapsed is the summed virtual duration of the segments — the
 	// stream's device time as if replayed back-to-back.
 	Elapsed time.Duration
+	// Faults aggregates the per-segment fault and retry counts.
+	Faults device.FaultStats
 }
 
 // ReplayParallel replays the stream through the engine: Split segments, one
@@ -206,8 +211,8 @@ func ReplayParallel(ctx context.Context, name string, ops []Op, factory engine.D
 		seg := seg
 		jobs[i] = engine.Job{
 			ID: fmt.Sprintf("%s/seg=%d", name, seg.Index),
-			Run: func(dev device.Device, startAt time.Duration) (*core.Run, error) {
-				run, err := Replay(dev, seg.Ops, startAt)
+			Run: func(ctx context.Context, dev device.Device, startAt time.Duration) (*core.Run, error) {
+				run, err := Replay(ctx, dev, seg.Ops, startAt)
 				if err != nil {
 					return nil, err
 				}
@@ -236,6 +241,7 @@ func ReplayParallel(ctx context.Context, name string, ops []Op, factory engine.D
 		}
 		merged = append(merged, run.RTs...)
 		res.Elapsed += run.Total
+		res.Faults.Add(run.Faults)
 	}
 	res.Total = w.Total()
 	res.Windows = w.Windows()

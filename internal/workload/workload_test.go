@@ -204,7 +204,7 @@ func TestReplayOpenLoop(t *testing.T) {
 		// still busy for 1 ms, so this op queues and its rt doubles.
 		{Gap: 0, IO: device.IO{Mode: device.Read, Off: 1024, Size: 512}},
 	}
-	run, err := workload.Replay(dev, ops, 0)
+	run, err := workload.Replay(context.Background(), dev, ops, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,10 +221,10 @@ func TestReplayOpenLoop(t *testing.T) {
 	if run.Total != 12*time.Millisecond {
 		t.Fatalf("total %v, want 12ms", run.Total)
 	}
-	if _, err := workload.Replay(dev, nil, 0); err == nil {
+	if _, err := workload.Replay(context.Background(), dev, nil, 0); err == nil {
 		t.Fatal("empty stream replayed")
 	}
-	if _, err := workload.Replay(dev, []workload.Op{{Gap: -1, IO: ops[0].IO}}, 0); err == nil {
+	if _, err := workload.Replay(context.Background(), dev, []workload.Op{{Gap: -1, IO: ops[0].IO}}, 0); err == nil {
 		t.Fatal("negative gap accepted")
 	}
 }
