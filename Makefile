@@ -35,8 +35,8 @@ bench-json:
 
 # Compare the latest bench-json output against the committed baseline; fails
 # on >20% ns/op regression of the pinned benchmarks (EngineSpeedup, Table3,
-# SubmitBatch, ReplayParallel) or when the zero-fault wrapper ratio pin
-# exceeds its limit.
+# SubmitBatch, ReplayParallel, TraceScan) or when the zero-fault wrapper
+# ratio pin exceeds its limit.
 # The newest dated file is picked by mtime so a run spanning midnight still
 # compares what bench-json just wrote.
 bench-check: bench-json
@@ -51,6 +51,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadTrace$$' -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSummaryCSV$$' -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzReadRTSeriesCSV$$' -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzReadUTR$$' -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzSubmitBatchEquivalence$$' -fuzztime $(FUZZTIME) ./internal/device
 
 # Compile every cmd/* and examples/* binary so example drift breaks the

@@ -20,6 +20,7 @@ package uflip_test
 // fidelity against the paper (see EXPERIMENTS.md).
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"os"
@@ -37,6 +38,7 @@ import (
 	"uflip/internal/paperexp"
 	"uflip/internal/profile"
 	"uflip/internal/statestore"
+	"uflip/internal/trace"
 	"uflip/internal/workload"
 )
 
@@ -613,6 +615,46 @@ func BenchmarkReplayParallel(b *testing.B) {
 		b.ReportMetric(res.Total.Mean*1e3, "mean-ms")
 		b.ReportMetric(res.P99.Seconds()*1e3, "p99-ms")
 	}
+}
+
+// BenchmarkTraceScan measures binary .utr trace decoding: one iteration
+// scans a 256k-record stream through trace.Scanner (header check, per-record
+// validation, running CRC), the exact path server ingest and streaming
+// replay take. The records/s metric is the headline — the format exists so
+// million-op traces parse in a blink at O(1) memory — and benchcheck pins
+// ns/op against the baseline so the scanner staying >1M records/s cannot
+// silently rot.
+func BenchmarkTraceScan(b *testing.B) {
+	const records = 256 << 10
+	gen := workload.OLTP{PageSize: 8192, TargetSize: 256 << 20, ReadFraction: 0.7, Count: records, Seed: 42}
+	ops, err := gen.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := workload.WriteUTR(&buf, ops); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := trace.NewScanner(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for sc.Scan() {
+			n++
+		}
+		if sc.Err() != nil || n != records {
+			b.Fatalf("scanned %d records, err %v", n, sc.Err())
+		}
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / records
+	b.ReportMetric(1e9/perOp, "records/s")
 }
 
 // BenchmarkEngineSpeedup measures the wall-clock scaling of the parallel

@@ -3,8 +3,9 @@
 // benchmark regressed by more than the allowed fraction. It is the guard CI
 // runs against the committed BENCH_baseline.json so the performance the
 // snapshot/clone engine and the batch-first submit path bought cannot
-// silently rot: the default pins cover the plan path (Table3, EngineSpeedup)
-// and the batch pipeline (SubmitBatch, ReplayParallel).
+// silently rot: the default pins cover the plan path (Table3, EngineSpeedup),
+// the batch pipeline (SubmitBatch, ReplayParallel) and the binary trace
+// scanner (TraceScan, the .utr ingest/replay hot path).
 //
 // Usage:
 //
@@ -111,7 +112,7 @@ func parseBenchLine(s string) (name string, nsPerOp float64, ok bool) {
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline go test -json benchmark file")
-		pins         = flag.String("pin", "BenchmarkEngineSpeedup,BenchmarkTable3,BenchmarkSubmitBatch,BenchmarkReplayParallel", "comma-separated benchmark-name prefixes that must not regress")
+		pins         = flag.String("pin", "BenchmarkEngineSpeedup,BenchmarkTable3,BenchmarkSubmitBatch,BenchmarkReplayParallel,BenchmarkTraceScan", "comma-separated benchmark-name prefixes that must not regress")
 		maxRegress   = flag.Float64("max-regress", 0.20, "maximum allowed fractional ns/op regression of a pinned benchmark")
 		ratios       = flag.String("ratio", "BenchmarkSubmitBatchFaultyNoop/BenchmarkSubmitBatch<=1.05", "comma-separated NUM/DEN<=LIMIT pins on ns/op ratios within the current file (empty disables)")
 	)

@@ -6,8 +6,10 @@
 //
 // The workload subcommand replays application-shaped workloads instead of
 // the paper's micro-benchmarks: synthetic generators (OLTP page mixes,
-// log-append streams, Zipfian hot/cold access, bursty phases) and CSV block
-// traces, sharded deterministically across workers.
+// log-append streams, Zipfian hot/cold access, bursty phases) and block
+// traces — CSV or the streaming binary .utr form, detected by content and
+// replayed with identical results — sharded deterministically across
+// workers. The trace subcommand converts between the two trace forms.
 //
 // The array subcommand sweeps composite devices — stripe/mirror/concat
 // arrays of simulated members with per-member queue-depth scheduling — over
@@ -23,6 +25,8 @@
 //	uflip -device mtron -out results/              # JSON + CSV results
 //	uflip workload -device memoright -kind oltp -ops 4096
 //	uflip workload -device memoright -trace mytrace.csv -parallel 8
+//	uflip trace convert -in mytrace.csv -out mytrace.utr
+//	uflip workload -device memoright -trace mytrace.utr -parallel 8
 //	uflip array -member mtron -counts 1,2,4 -layouts stripe,mirror
 //
 // The serve subcommand runs the experiment daemon (versioned /v1 HTTP API
@@ -68,6 +72,8 @@ func main() {
 		err = runServe(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "submit":
 		err = runSubmit(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "trace":
+		err = runTrace(os.Args[2:])
 	default:
 		err = run()
 	}

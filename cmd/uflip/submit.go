@@ -55,7 +55,7 @@ func runSubmit(args []string) error {
 		micros = fs.String("micro", "", "comma-separated micro-benchmarks (plan; default: all nine)")
 		// workload
 		wkind     = fs.String("kind", "oltp", "workload kind: oltp, append, zipf, bursty (or pass -trace)")
-		traceFile = fs.String("trace", "", "block-trace CSV to upload and replay instead of a synthetic workload")
+		traceFile = fs.String("trace", "", "block trace (CSV or .utr) to upload and replay instead of a synthetic workload")
 		ops       = fs.Int("ops", 2048, "synthetic stream length in IOs")
 		segment   = fs.Int("segment", 512, "ops per replay segment")
 		window    = fs.Int("window", 256, "ios per windowed summary")

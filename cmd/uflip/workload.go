@@ -9,6 +9,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"uflip/internal/engine"
@@ -29,7 +30,7 @@ func runWorkload(args []string) error {
 		devKey    = fs.String("device", "", "device profile or array spec to replay against (see flashio -list)")
 		capacity  = fs.Int64("capacity", 1<<30, "simulated capacity in bytes, per member for array specs")
 		kind      = fs.String("kind", "oltp", "workload kind: oltp, append, zipf, bursty (or pass -trace)")
-		traceFile = fs.String("trace", "", "replay a block-trace CSV (offset,size,mode,gap_us) instead of a synthetic workload")
+		traceFile = fs.String("trace", "", "replay a block trace (CSV offset,size,mode,gap_us or binary .utr; detected by content) instead of a synthetic workload")
 		ops       = fs.Int("ops", 2048, "synthetic stream length in IOs")
 		seed      = fs.Int64("seed", 42, "random seed (stream generation and per-segment device state)")
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count (1 = sequential fallback; results are identical for any value)")
@@ -44,7 +45,7 @@ func runWorkload(args []string) error {
 		think     = fs.Duration("think", 0, "inter-arrival gap between ops (0 = back-to-back)")
 		burstOps  = fs.Int("burst", 32, "ops per burst for the bursty workload")
 		burstGap  = fs.Duration("burst-gap", 100*time.Millisecond, "pause before each burst for the bursty workload")
-		dumpTrace = fs.String("dump-trace", "", "also write the generated stream as a block-trace CSV to this path")
+		dumpTrace = fs.String("dump-trace", "", "also write the replayed stream as a block trace to this path (a .utr extension selects the binary form)")
 		stateDir  = fs.String("statedir", "", "persistent state-cache directory: segment devices load their enforced state instead of re-filling (results are byte-identical)")
 		outDir    = fs.String("out", "", "directory for JSON/CSV replay results")
 		verbose   = fs.Bool("v", false, "log each completed segment")
@@ -77,24 +78,60 @@ func runWorkload(args []string) error {
 		*target = *capacity / 2
 	}
 
-	gen, err := buildGenerator(*kind, *traceFile, generatorKnobs{
-		pageSize: *pageSize, ioSize: *ioSize, target: *target,
-		readFrac: *readFrac, streams: *streams, zipfS: *zipfS,
-		think: *think, burstOps: *burstOps, burstGap: *burstGap,
-		ops: *ops, seed: *seed,
-	})
-	if err != nil {
-		return err
-	}
-	stream, err := gen.Generate()
-	if err != nil {
-		return err
-	}
-	if *dumpTrace != "" {
-		if err := workload.SaveTrace(*dumpTrace, stream); err != nil {
+	// Trace replays stream straight from the file when the binary .utr form
+	// is passed (O(segment) memory); CSV traces and synthetic generators
+	// materialize the stream as before. Both land in a workload.Source so
+	// one replay path serves every input and stays byte-identical.
+	var src workload.Source
+	if *traceFile != "" {
+		format, err := workload.SniffTraceFile(*traceFile)
+		if err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s (%d IOs)\n", *dumpTrace, len(stream))
+		label := traceLabel(*traceFile)
+		if format == workload.TraceFormatUTR {
+			u, err := workload.OpenUTRFile(*traceFile)
+			if err != nil {
+				return err
+			}
+			defer u.Close()
+			u.SetLabel(label)
+			src = u
+		} else {
+			ops, err := workload.LoadTrace(*traceFile)
+			if err != nil {
+				return err
+			}
+			src = workload.OpsSource(workload.Trace{Label: label}.Name(), ops)
+		}
+		if *dumpTrace != "" {
+			n, err := workload.ConvertTraceFile(*traceFile, *dumpTrace, workload.FormatForPath(*dumpTrace))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("trace written to %s (%d IOs)\n", *dumpTrace, n)
+		}
+	} else {
+		gen, err := buildGenerator(*kind, generatorKnobs{
+			pageSize: *pageSize, ioSize: *ioSize, target: *target,
+			readFrac: *readFrac, streams: *streams, zipfS: *zipfS,
+			think: *think, burstOps: *burstOps, burstGap: *burstGap,
+			ops: *ops, seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		stream, err := gen.Generate()
+		if err != nil {
+			return err
+		}
+		if *dumpTrace != "" {
+			if err := workload.SaveTraceAuto(*dumpTrace, stream); err != nil {
+				return err
+			}
+			fmt.Printf("trace written to %s (%d IOs)\n", *dumpTrace, len(stream))
+		}
+		src = workload.OpsSource(gen.Name(), stream)
 	}
 
 	workers := *parallel
@@ -103,7 +140,7 @@ func runWorkload(args []string) error {
 	}
 	fmt.Printf("== %s (%s)\n", *devKey, desc)
 	fmt.Printf("replaying %s: %d IOs in segments of %d on %d workers\n",
-		gen.Name(), len(stream), *segment, workers)
+		src.Name(), src.Len(), *segment, workers)
 	var progress engine.ProgressFunc
 	if *verbose {
 		progress = func(done, total int, desc string) {
@@ -123,7 +160,7 @@ func runWorkload(args []string) error {
 		}
 	}
 	factory := paperexp.ShardFactory(*devKey, shardCfg)
-	res, err := workload.ReplayParallel(ctx, gen.Name(), stream, factory, workload.Options{
+	res, err := workload.ReplaySource(ctx, src, factory, workload.Options{
 		SegmentOps: *segment,
 		Workers:    workers,
 		Seed:       *seed,
@@ -155,14 +192,15 @@ type generatorKnobs struct {
 	seed                     int64
 }
 
-func buildGenerator(kind, traceFile string, k generatorKnobs) (workload.Generator, error) {
-	if traceFile != "" {
-		ops, err := workload.LoadTrace(traceFile)
-		if err != nil {
-			return nil, err
-		}
-		return workload.Trace{Label: filepath.Base(traceFile), Ops: ops}, nil
-	}
+// traceLabel names a replayed trace in reports: the file name without its
+// format extension, so the same stream replayed from its .csv and .utr
+// forms produces byte-identical results.
+func traceLabel(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+func buildGenerator(kind string, k generatorKnobs) (workload.Generator, error) {
 	// Flags map onto the declarative spec the experiment server also
 	// accepts, so CLI and server builds of one workload are identical.
 	return workload.Spec{

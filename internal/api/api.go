@@ -242,13 +242,21 @@ func (e Event) Terminal() bool {
 // TraceInfo describes an uploaded block trace (POST /v1/traces response and
 // GET /v1/traces entries).
 type TraceInfo struct {
-	// Hash is the hex SHA-256 of the uploaded CSV bytes — the handle
-	// workload jobs reference via WorkloadRequest.TraceHash.
+	// Hash is the hex SHA-256 of the uploaded bytes — the handle workload
+	// jobs reference via WorkloadRequest.TraceHash.
 	Hash string `json:"hash"`
-	// Bytes is the raw CSV size.
+	// Bytes is the raw upload size.
 	Bytes int64 `json:"bytes"`
 	// Ops is the number of IOs the trace holds.
 	Ops int `json:"ops"`
+	// Format is the uploaded representation: "csv" or "utr". Both replay
+	// identically; the format only decides how the bytes are parsed.
+	Format string `json:"format,omitempty"`
+	// OpsHash is the hex SHA-256 of the op stream's canonical binary
+	// record encoding — the format-independent identity of the trace, so
+	// the CSV and .utr forms of one stream share it (and the reports
+	// labeled by it), while their content Hashes differ.
+	OpsHash string `json:"ops_hash,omitempty"`
 }
 
 // TraceList is the body of GET /v1/traces.

@@ -182,13 +182,19 @@ func (c *Client) ResultRows(ctx context.Context, id string) ([]report.ArrayRow, 
 	return rows, c.getJSON(ctx, "/jobs/"+id+"/result", &rows)
 }
 
-// UploadTrace posts a block-trace CSV and returns its content-hash handle.
+// UploadTrace posts a block trace — the CSV form or the binary .utr form —
+// and returns its content-hash handle. The server sniffs the format from
+// the bytes; the content type set here is informational.
 func (c *Client) UploadTrace(ctx context.Context, body []byte) (api.TraceInfo, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/traces"), bytes.NewReader(body))
 	if err != nil {
 		return api.TraceInfo{}, err
 	}
-	req.Header.Set("Content-Type", "text/csv")
+	if trace.IsUTR(body) {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	} else {
+		req.Header.Set("Content-Type", "text/csv")
+	}
 	resp, err := c.do(req)
 	if err != nil {
 		return api.TraceInfo{}, err
@@ -198,7 +204,7 @@ func (c *Client) UploadTrace(ctx context.Context, body []byte) (api.TraceInfo, e
 	return info, json.NewDecoder(resp.Body).Decode(&info)
 }
 
-// Trace fetches an uploaded block-trace CSV by its content hash.
+// Trace fetches an uploaded block trace's raw bytes by its content hash.
 func (c *Client) Trace(ctx context.Context, hash string) ([]byte, error) {
 	return c.getRaw(ctx, "/traces/"+hash)
 }

@@ -817,38 +817,28 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(j.report)
 }
 
-// handleTraceUpload accepts a block-trace CSV (bounded size), validates it
-// with the hardened trace parser and stores it content-addressed; workload
-// jobs then reference it by hash.
+// handleTraceUpload accepts a block trace (bounded size; the CSV form or
+// the binary .utr form, sniffed from the content), validating it record by
+// record while the bytes stream to the content-addressed store — the body
+// is never buffered whole. Workload jobs then reference the trace by hash.
 func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	limit := s.cfg.maxTraceBytes()
-	body, err := readAllLimited(w, r, limit)
+	defer r.Body.Close()
+	info, err := s.traces.ingest(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
+		switch {
+		case errors.As(err, &tooLarge):
 			writeError(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge,
 				"trace exceeds the %d-byte upload bound", limit)
-			return
+		case errors.Is(err, errBadTrace):
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, api.CodeInternal, "store trace: %v", err)
 		}
-		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "read trace: %v", err)
-		return
-	}
-	ops, err := workload.ReadTrace(bytes.NewReader(body))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "invalid trace: %v", err)
-		return
-	}
-	info, err := s.traces.put(body, len(ops))
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, api.CodeInternal, "store trace: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
-}
-
-func readAllLimited(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
-	defer r.Body.Close()
-	return io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 }
 
 func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
@@ -857,13 +847,23 @@ func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
-	body, ok := s.traces.get(hash)
+	h, ok, err := s.traces.open(hash)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "open trace: %v", err)
+		return
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, api.CodeNotFound, "unknown trace %q", hash)
 		return
 	}
-	w.Header().Set("Content-Type", "text/csv")
-	_, _ = w.Write(body)
+	defer h.Close()
+	if h.Info.Format == workload.TraceFormatUTR {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		w.Header().Set("Content-Type", "text/csv")
+	}
+	w.Header().Set("Content-Length", strconv.FormatInt(h.Size, 10))
+	_, _ = io.Copy(w, io.NewSectionReader(h, 0, h.Size))
 }
 
 // persistFinished writes the job's final record and artifacts to the job
@@ -1079,22 +1079,43 @@ func (s *Server) executePlan(ctx context.Context, j *job) error {
 
 func (s *Server) executeWorkload(ctx context.Context, j *job) error {
 	req := j.req // normalized by validate at submission
-	var gen workload.Generator
+	var src workload.Source
 	if th := req.Workload.TraceHash; th != "" {
-		body, ok := s.traces.get(th)
-		if !ok {
-			return fmt.Errorf("trace %s is no longer available", th)
-		}
-		ops, err := workload.ReadTrace(bytes.NewReader(body))
+		h, ok, err := s.traces.open(th)
 		if err != nil {
 			return err
 		}
-		gen = workload.Trace{Label: th[:12], Ops: ops}
+		if !ok {
+			return fmt.Errorf("trace %s is no longer available", th)
+		}
+		defer h.Close()
+		// Reports carry the format-independent ops-hash, so the CSV and
+		// .utr uploads of one stream replay to byte-identical results.
+		label := h.Info.OpsHash
+		if len(label) > 12 {
+			label = label[:12]
+		}
+		if h.Info.Format == workload.TraceFormatUTR {
+			if src, err = workload.NewUTRSource(h, h.Size, label); err != nil {
+				return err
+			}
+		} else {
+			ops, err := workload.ReadTrace(io.NewSectionReader(h, 0, h.Size))
+			if err != nil {
+				return err
+			}
+			src = workload.OpsSource(workload.Trace{Label: label}.Name(), ops)
+		}
 	} else {
-		var err error
-		if gen, err = req.Workload.Spec.Build(); err != nil {
+		gen, err := req.Workload.Spec.Build()
+		if err != nil {
 			return err
 		}
+		ops, err := gen.Generate()
+		if err != nil {
+			return err
+		}
+		src = workload.OpsSource(gen.Name(), ops)
 	}
 	factory := paperexp.ShardFactory(req.Device, paperexp.Config{
 		Capacity: req.Capacity,
@@ -1102,7 +1123,7 @@ func (s *Server) executeWorkload(ctx context.Context, j *job) error {
 		Pause:    time.Second,
 		Store:    s.store,
 	})
-	res, err := workload.Generate(ctx, gen, factory, workload.Options{
+	res, err := workload.ReplaySource(ctx, src, factory, workload.Options{
 		SegmentOps: req.Workload.SegmentOps,
 		Workers:    s.parallel(req),
 		Seed:       req.Seed,

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -16,19 +19,26 @@ import (
 	"uflip/internal/workload"
 )
 
-// traceStore holds uploaded block traces, content-addressed by the hex
-// SHA-256 of the raw CSV bytes. Uploads were already validated by
-// workload.ReadTrace, so anything in the store replays cleanly. With a job
-// directory configured the CSVs persist under <jobdir>/traces (atomic
-// fsync+rename, like job records); without one they live in memory only.
-// Either way an in-memory index serves lookups and listings.
+// traceStore holds uploaded block traces — the CSV form or the binary .utr
+// form, sniffed from the content — addressed by the hex SHA-256 of the raw
+// uploaded bytes. Uploads are validated record by record while the bytes
+// spool to their destination, so a max-size upload is never buffered in
+// memory (let alone twice, as the old read-everything-then-parse path did).
+// With a job directory configured the files persist under <jobdir>/traces
+// (fsync+rename, like job records) and replays stream straight from disk;
+// without one the raw bytes live in memory only. Either way an in-memory
+// index serves lookups and listings.
 type traceStore struct {
 	dir string // "" = memory only
 
 	mu     sync.Mutex
-	bodies map[string][]byte        // hash -> raw CSV
+	bodies map[string][]byte        // memory-only mode: hash -> raw bytes
 	infos  map[string]api.TraceInfo // hash -> metadata
 }
+
+// errBadTrace marks ingest failures caused by the uploaded content (parse
+// or validation errors) rather than by the store itself.
+var errBadTrace = errors.New("invalid trace")
 
 // openTraceStore builds the store, reloading (and re-validating) any traces
 // a previous process persisted. Corrupt files fail loudly, mirroring the
@@ -52,58 +62,194 @@ func openTraceStore(jobdir string) (*traceStore, error) {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".csv") || strings.HasPrefix(name, ".tmp-") {
+		ext := filepath.Ext(name)
+		if e.IsDir() || (ext != ".csv" && ext != ".utr") || strings.HasPrefix(name, ".tmp-") {
 			continue
 		}
-		body, err := os.ReadFile(filepath.Join(ts.dir, name))
+		f, err := os.Open(filepath.Join(ts.dir, name))
 		if err != nil {
 			return nil, fmt.Errorf("server: trace store: %w", err)
 		}
-		hash := traceHash(body)
-		if hash+".csv" != name {
-			return nil, fmt.Errorf("server: trace store: %s does not match its content hash %s", name, hash)
-		}
-		ops, err := workload.ReadTrace(bytes.NewReader(body))
+		hasher := sha256.New()
+		info, err := validateTrace(io.TeeReader(f, hasher))
+		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("server: trace store: %s: %w", name, err)
 		}
-		ts.bodies[hash] = body
-		ts.infos[hash] = api.TraceInfo{Hash: hash, Bytes: int64(len(body)), Ops: len(ops)}
+		info.Hash = hex.EncodeToString(hasher.Sum(nil))
+		if st, err := e.Info(); err == nil {
+			info.Bytes = st.Size()
+		}
+		if name != info.Hash+"."+info.Format {
+			return nil, fmt.Errorf("server: trace store: %s does not match its content (hash %s, format %s)", name, info.Hash, info.Format)
+		}
+		ts.infos[info.Hash] = info
 	}
 	return ts, nil
 }
 
-func traceHash(body []byte) string {
-	sum := sha256.Sum256(body)
-	return hex.EncodeToString(sum[:])
-}
-
-// put stores a validated upload and returns its metadata. Re-uploading
-// identical bytes is idempotent — same hash, same file.
-func (ts *traceStore) put(body []byte, ops int) (api.TraceInfo, error) {
-	hash := traceHash(body)
-	info := api.TraceInfo{Hash: hash, Bytes: int64(len(body)), Ops: ops}
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	if _, ok := ts.infos[hash]; ok {
-		return ts.infos[hash], nil
+// validateTrace streams r through the trace parser for its format (sniffed
+// from the leading bytes) at O(batch) memory, consuming it to EOF. It
+// returns the op count, format and ops-hash; Hash and Bytes are left for
+// the caller, which sees the raw byte stream.
+func validateTrace(r io.Reader) (api.TraceInfo, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(len(trace.UTRMagic))
+	if err != nil && err != io.EOF {
+		return api.TraceInfo{}, err
 	}
-	if ts.dir != "" {
-		if err := trace.WriteFileAtomic(filepath.Join(ts.dir, hash+".csv"), body); err != nil {
-			return api.TraceInfo{}, fmt.Errorf("server: trace store: %w", err)
+	var info api.TraceInfo
+	opsHasher := sha256.New()
+	var rec [trace.UTRRecordSize]byte
+	switch workload.SniffTraceFormat(head) {
+	case workload.TraceFormatUTR:
+		info.Format = workload.TraceFormatUTR
+		sc, err := trace.NewScanner(br)
+		if err != nil {
+			return api.TraceInfo{}, fmt.Errorf("%w: %w", errBadTrace, err)
+		}
+		for sc.Scan() {
+			// Re-encoding the validated record yields its on-disk bytes
+			// (the encoding is canonical), so both formats hash the same
+			// stream the same way.
+			if err := trace.EncodeUTRRecord(&rec, sc.Op()); err != nil {
+				return api.TraceInfo{}, fmt.Errorf("%w: %w", errBadTrace, err)
+			}
+			opsHasher.Write(rec[:])
+			info.Ops++
+		}
+		if err := sc.Err(); err != nil {
+			return api.TraceInfo{}, fmt.Errorf("%w: %w", errBadTrace, err)
+		}
+	default:
+		info.Format = workload.TraceFormatCSV
+		tsc := workload.NewTraceScanner(br)
+		for tsc.Scan() {
+			if err := workload.UTRRecord(&rec, tsc.Op()); err != nil {
+				return api.TraceInfo{}, fmt.Errorf("%w: %w", errBadTrace, err)
+			}
+			opsHasher.Write(rec[:])
+			info.Ops++
+		}
+		if err := tsc.Err(); err != nil {
+			return api.TraceInfo{}, fmt.Errorf("%w: %w", errBadTrace, err)
+		}
+		if info.Ops == 0 {
+			return api.TraceInfo{}, fmt.Errorf("%w: trace holds no IOs", errBadTrace)
 		}
 	}
-	ts.bodies[hash] = body
-	ts.infos[hash] = info
+	info.OpsHash = hex.EncodeToString(opsHasher.Sum(nil))
 	return info, nil
 }
 
-// get returns the raw CSV for a hash.
-func (ts *traceStore) get(hash string) ([]byte, bool) {
+// countingWriter counts the bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// ingest validates a trace upload while spooling its bytes to the store —
+// a temporary file next to the final location when the store persists, a
+// single in-memory buffer otherwise — and registers it content-addressed.
+// Validation errors are wrapped in errBadTrace; errors from the underlying
+// reader (including http.MaxBytesError) pass through the chain unwrapped.
+// Re-uploading identical bytes is idempotent — same hash, same file.
+func (ts *traceStore) ingest(r io.Reader) (api.TraceInfo, error) {
+	hasher := sha256.New()
+	var spool io.Writer
+	var tmp *os.File
+	var mem *bytes.Buffer
+	if ts.dir != "" {
+		var err error
+		tmp, err = os.CreateTemp(ts.dir, ".tmp-*")
+		if err != nil {
+			return api.TraceInfo{}, fmt.Errorf("server: trace store: %w", err)
+		}
+		tmpName := tmp.Name()
+		defer func() {
+			// No-ops once the file was renamed into place.
+			tmp.Close()
+			os.Remove(tmpName)
+		}()
+		spool = tmp
+	} else {
+		mem = new(bytes.Buffer)
+		spool = mem
+	}
+	cw := &countingWriter{w: io.MultiWriter(hasher, spool)}
+	info, err := validateTrace(io.TeeReader(r, cw))
+	if err != nil {
+		return api.TraceInfo{}, err
+	}
+	info.Hash = hex.EncodeToString(hasher.Sum(nil))
+	info.Bytes = cw.n
+
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	body, ok := ts.bodies[hash]
-	return body, ok
+	if old, ok := ts.infos[info.Hash]; ok {
+		return old, nil
+	}
+	if ts.dir != "" {
+		if err := tmp.Sync(); err != nil {
+			return api.TraceInfo{}, fmt.Errorf("server: trace store: %w", err)
+		}
+		if err := tmp.Close(); err != nil {
+			return api.TraceInfo{}, fmt.Errorf("server: trace store: %w", err)
+		}
+		if err := os.Rename(tmp.Name(), filepath.Join(ts.dir, info.Hash+"."+info.Format)); err != nil {
+			return api.TraceInfo{}, fmt.Errorf("server: trace store: %w", err)
+		}
+	} else {
+		ts.bodies[info.Hash] = mem.Bytes()
+	}
+	ts.infos[info.Hash] = info
+	return info, nil
+}
+
+// traceHandle is an open random-access view of one stored trace.
+type traceHandle struct {
+	io.ReaderAt
+	// Size is the raw byte length.
+	Size int64
+	// Info is the stored metadata.
+	Info api.TraceInfo
+
+	closer io.Closer
+}
+
+// Close releases the underlying file, if any.
+func (h *traceHandle) Close() error {
+	if h.closer == nil {
+		return nil
+	}
+	return h.closer.Close()
+}
+
+// open returns random access to a stored trace's raw bytes: a positioned
+// file read per access when the store persists (nothing buffered), the
+// retained buffer in memory-only mode.
+func (ts *traceStore) open(hash string) (*traceHandle, bool, error) {
+	ts.mu.Lock()
+	info, ok := ts.infos[hash]
+	body := ts.bodies[hash]
+	ts.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	if ts.dir == "" {
+		return &traceHandle{ReaderAt: bytes.NewReader(body), Size: info.Bytes, Info: info}, true, nil
+	}
+	f, err := os.Open(filepath.Join(ts.dir, hash+"."+info.Format))
+	if err != nil {
+		return nil, true, fmt.Errorf("server: trace store: %w", err)
+	}
+	return &traceHandle{ReaderAt: f, Size: info.Bytes, Info: info, closer: f}, true, nil
 }
 
 // contains reports whether the hash is uploaded.

@@ -1,0 +1,86 @@
+package server
+
+// Internal tests for the trace store's streaming ingest: the upload path
+// must validate while spooling, never holding the body in memory. These sit
+// inside the package to drive traceStore.ingest directly, without the HTTP
+// stack's own buffers muddying the allocation accounting.
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"uflip/internal/device"
+	"uflip/internal/workload"
+)
+
+// ingestTestOps builds a multi-megabyte op stream: big enough that a
+// buffer-the-body regression dwarfs the fixed streaming overhead.
+func ingestTestOps(n int) []workload.Op {
+	ops := make([]workload.Op, n)
+	for i := range ops {
+		mode := device.Read
+		if i%3 == 0 {
+			mode = device.Write
+		}
+		ops[i] = workload.Op{
+			Gap: time.Duration(i%1000) * time.Microsecond,
+			IO:  device.IO{Mode: mode, Off: int64(i) * 4096, Size: 4096},
+		}
+	}
+	return ops
+}
+
+// TestTraceIngestStreams pins the O(batch) ingest promise on the persistent
+// store: validating and spooling a multi-MB .utr upload allocates a small
+// fixed overhead (scanner + bufio + temp-file bookkeeping), not the body.
+// The CSV path allocates per-row parse scratch, so it only has to stay
+// within a small multiple of the body — bounded, never body-sized-squared
+// or doubly buffered.
+func TestTraceIngestStreams(t *testing.T) {
+	ops := ingestTestOps(256 << 10)
+	var utrBody, csvBody bytes.Buffer
+	if err := workload.WriteUTR(&utrBody, ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteTrace(&csvBody, ops); err != nil {
+		t.Fatal(err)
+	}
+
+	ts, err := openTraceStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(body []byte) int64 {
+		t.Helper()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		info, err := ts.ingest(bytes.NewReader(body))
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Ops != len(ops) {
+			t.Fatalf("ingested %d ops, want %d", info.Ops, len(ops))
+		}
+		return int64(after.TotalAlloc - before.TotalAlloc)
+	}
+
+	// Binary ingest: a hard ceiling far below the body size. 8 MB of
+	// records must cost well under a quarter of that to stream through.
+	utrAllocs := measure(utrBody.Bytes())
+	if ceiling := int64(utrBody.Len()) / 4; utrAllocs > ceiling {
+		t.Errorf("utr ingest of %d bytes allocated %d bytes, want < %d (streaming, not buffering)",
+			utrBody.Len(), utrAllocs, ceiling)
+	}
+
+	// CSV ingest: per-row strings are unavoidable, but the total must stay
+	// a small constant factor of the body — the old read-then-parse path
+	// cost 2x the body before parsing even began.
+	csvAllocs := measure(csvBody.Bytes())
+	if ceiling := int64(csvBody.Len()) * 2; csvAllocs > ceiling {
+		t.Errorf("csv ingest of %d bytes allocated %d bytes, want < %d",
+			csvBody.Len(), csvAllocs, ceiling)
+	}
+}

@@ -428,6 +428,9 @@ func TestTraceUploadAndReplayJob(t *testing.T) {
 	if info.Ops != len(ops) || info.Bytes != int64(len(body)) || len(info.Hash) != 64 {
 		t.Fatalf("upload info %+v, want %d ops, %d bytes, sha256 hash", info, len(ops), len(body))
 	}
+	if info.Format != workload.TraceFormatCSV || len(info.OpsHash) != 64 {
+		t.Fatalf("upload info %+v, want csv format and a sha256 ops-hash", info)
+	}
 	again, err := cl.UploadTrace(ctx, body)
 	if err != nil || again.Hash != info.Hash {
 		t.Fatalf("re-upload: %+v, %v — want the same hash back", again, err)
@@ -466,7 +469,7 @@ func TestTraceUploadAndReplayJob(t *testing.T) {
 	}
 
 	res, err := workload.Generate(ctx,
-		workload.Trace{Label: info.Hash[:12], Ops: ops},
+		workload.Trace{Label: info.OpsHash[:12], Ops: ops},
 		paperexp.ShardFactory("kingston-dti", paperexp.Config{Capacity: testCapacity, Seed: 42, Pause: time.Second}),
 		workload.Options{SegmentOps: 100, Workers: 2, Seed: 42})
 	if err != nil {
@@ -487,6 +490,124 @@ func TestTraceUploadAndReplayJob(t *testing.T) {
 	var apiErr *client.APIError
 	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest || apiErr.Err.Code != api.CodeBadRequest {
 		t.Fatalf("unknown hash submit: %v, want 400 bad_request", err)
+	}
+}
+
+// TestTraceDualFormatReplayIdentical uploads the same op stream as CSV and
+// as binary .utr: the two uploads are distinct blobs (different content
+// hashes) with the same ops-hash, both survive a daemon restart, and replay
+// jobs against either hash produce byte-identical result CSVs — the format a
+// trace arrives in must never leak into the measurements.
+func TestTraceDualFormatReplayIdentical(t *testing.T) {
+	cfg := server.Config{JobDir: t.TempDir(), Workers: 2}
+	srv1, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	cl := &client.Client{BaseURL: ts1.URL}
+	ctx := context.Background()
+	csvBody, ops := traceCSV(t)
+	var utrBuf bytes.Buffer
+	if err := workload.WriteUTR(&utrBuf, ops); err != nil {
+		t.Fatal(err)
+	}
+	utrBody := utrBuf.Bytes()
+
+	infoCSV, err := cl.UploadTrace(ctx, csvBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoUTR, err := cl.UploadTrace(ctx, utrBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoCSV.Hash == infoUTR.Hash {
+		t.Fatal("CSV and utr uploads share a content hash")
+	}
+	if infoCSV.OpsHash != infoUTR.OpsHash || infoCSV.OpsHash == "" {
+		t.Fatalf("ops-hash split across formats: csv %q, utr %q", infoCSV.OpsHash, infoUTR.OpsHash)
+	}
+	if infoCSV.Format != workload.TraceFormatCSV || infoUTR.Format != workload.TraceFormatUTR {
+		t.Fatalf("formats = %q/%q, want csv/utr", infoCSV.Format, infoUTR.Format)
+	}
+	if infoCSV.Ops != len(ops) || infoUTR.Ops != len(ops) {
+		t.Fatalf("op counts = %d/%d, want %d", infoCSV.Ops, infoUTR.Ops, len(ops))
+	}
+
+	// The binary blob round-trips exactly and is served as an octet stream.
+	resp, err := http.Get(ts1.URL + "/v1/traces/" + infoUTR.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotUTR, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || !bytes.Equal(gotUTR, utrBody) {
+		t.Fatalf("utr download: HTTP %d, err %v, identical=%v", resp.StatusCode, err, bytes.Equal(gotUTR, utrBody))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("utr Content-Type = %q", ct)
+	}
+
+	replay := func(ts *httptest.Server, hash string) []byte {
+		t.Helper()
+		c := &client.Client{BaseURL: ts.URL}
+		st, err := c.Submit(ctx, api.JobRequest{
+			Kind:     "workload",
+			Device:   "kingston-dti",
+			Capacity: testCapacity,
+			Seed:     42,
+			Parallel: 2,
+			Workload: &api.WorkloadRequest{TraceHash: hash, SegmentOps: 50},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := c.Wait(ctx, st.ID)
+		if err != nil || final.Status != server.StatusDone {
+			t.Fatalf("replay of %s: %v, status %s (%s)", hash[:12], err, final.Status, final.Error)
+		}
+		csv, err := c.CSV(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return csv
+	}
+	fromCSV := replay(ts1, infoCSV.Hash)
+	fromUTR := replay(ts1, infoUTR.Hash)
+	if !bytes.Equal(fromCSV, fromUTR) {
+		t.Fatal("replaying the utr form differs from replaying the CSV form")
+	}
+
+	// Both formats reload from the persistent store across a restart, and a
+	// replay under the new process still matches.
+	ts1.Close()
+	srv1.Close()
+	srv2, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+	cl2 := &client.Client{BaseURL: ts2.URL}
+	list, err := cl2.Traces(ctx)
+	if err != nil || len(list.Traces) != 2 {
+		t.Fatalf("restarted trace list = %+v, %v — want both formats back", list, err)
+	}
+	reloaded := map[string]api.TraceInfo{}
+	for _, info := range list.Traces {
+		reloaded[info.Hash] = info
+	}
+	for _, want := range []api.TraceInfo{infoCSV, infoUTR} {
+		if got := reloaded[want.Hash]; got != want {
+			t.Fatalf("restarted metadata for %s = %+v, want %+v", want.Hash[:12], got, want)
+		}
+	}
+	if again := replay(ts2, infoUTR.Hash); !bytes.Equal(again, fromCSV) {
+		t.Fatal("utr replay after restart differs")
 	}
 }
 

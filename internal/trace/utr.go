@@ -1,0 +1,393 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"time"
+)
+
+// The uFLIP binary trace format (.utr) is the streaming counterpart of the
+// block-trace CSV: a 32-byte header followed by fixed-width 32-byte records,
+// one per IO. Fixed-width records make the file mmap-able and randomly
+// addressable (record i lives at UTRHeaderSize + i*UTRRecordSize), and the
+// header carries the record count up front so parallel replay can shard the
+// stream deterministically without reading it.
+//
+// Header (little-endian):
+//
+//	[0:8)   magic "uFLIPtr\x01"
+//	[8:12)  format version (currently 1)
+//	[12:16) reserved, must be zero
+//	[16:24) record count, must be positive
+//	[24:32) CRC-64/ECMA of all record bytes
+//
+// Record (little-endian):
+//
+//	[0:8)   offset in bytes (int64, non-negative)
+//	[8:16)  size in bytes (int64, positive)
+//	[16:24) inter-arrival gap in nanoseconds (int64, 0..MaxUTRGap)
+//	[24:28) mode: 0 = read, 1 = write
+//	[28:32) reserved, must be zero
+//
+// Every field a valid writer can emit has exactly one encoding (reserved
+// bytes are zero, mode is 0 or 1), so a parsed file re-encodes to the same
+// bytes and utr -> CSV -> utr round trips are byte-identical within the CSV
+// format's gap bound.
+
+const (
+	// UTRMagic is the 8-byte file magic every .utr file starts with.
+	UTRMagic = "uFLIPtr\x01"
+	// UTRVersion is the current format version.
+	UTRVersion = 1
+	// UTRHeaderSize is the fixed header length in bytes.
+	UTRHeaderSize = 32
+	// UTRRecordSize is the fixed per-record length in bytes.
+	UTRRecordSize = 32
+)
+
+// MaxUTRGap bounds the inter-arrival gap a record may carry (~6.5 days).
+// It is exactly the CSV format's MaxGapUS bound (a whole number of
+// microseconds, (1<<49)/1000) converted to nanoseconds, so every op that
+// fits one format fits the other and cross-format round trips never clip.
+const MaxUTRGap = time.Duration((int64(1) << 49) / 1000 * 1000)
+
+// utrTable is the CRC-64/ECMA table shared by readers and writers.
+var utrTable = crc64.MakeTable(crc64.ECMA)
+
+// BlockOp is one decoded trace record: a single IO plus the gap since the
+// previous submission. It mirrors workload.Op without importing the device
+// package, so the format layer stays dependency-free.
+type BlockOp struct {
+	// Off and Size are the IO's byte offset and length.
+	Off, Size int64
+	// Gap is the inter-arrival gap since the previous IO.
+	Gap time.Duration
+	// Write selects the IO direction (false = read).
+	Write bool
+}
+
+// IsUTR reports whether head (the first bytes of a stream) starts with the
+// .utr magic. Callers sniffing a trace need at least len(UTRMagic) bytes.
+func IsUTR(head []byte) bool {
+	return len(head) >= len(UTRMagic) && string(head[:len(UTRMagic)]) == UTRMagic
+}
+
+// EncodeUTRRecord validates op and encodes it into dst. The encoding is
+// canonical: equal ops always produce equal bytes.
+func EncodeUTRRecord(dst *[UTRRecordSize]byte, op BlockOp) error {
+	switch {
+	case op.Off < 0:
+		return fmt.Errorf("trace: utr record: offset %d must be non-negative", op.Off)
+	case op.Size <= 0:
+		return fmt.Errorf("trace: utr record: size %d must be positive", op.Size)
+	case op.Gap < 0 || op.Gap > MaxUTRGap:
+		return fmt.Errorf("trace: utr record: gap %v outside [0, %v]", op.Gap, MaxUTRGap)
+	}
+	binary.LittleEndian.PutUint64(dst[0:8], uint64(op.Off))
+	binary.LittleEndian.PutUint64(dst[8:16], uint64(op.Size))
+	binary.LittleEndian.PutUint64(dst[16:24], uint64(op.Gap))
+	var mode uint32
+	if op.Write {
+		mode = 1
+	}
+	binary.LittleEndian.PutUint32(dst[24:28], mode)
+	binary.LittleEndian.PutUint32(dst[28:32], 0)
+	return nil
+}
+
+// DecodeUTRRecord decodes and validates one 32-byte record.
+func DecodeUTRRecord(b []byte) (BlockOp, error) {
+	var op BlockOp
+	if len(b) != UTRRecordSize {
+		return op, fmt.Errorf("trace: utr record is %d bytes, want %d", len(b), UTRRecordSize)
+	}
+	op.Off = int64(binary.LittleEndian.Uint64(b[0:8]))
+	op.Size = int64(binary.LittleEndian.Uint64(b[8:16]))
+	op.Gap = time.Duration(binary.LittleEndian.Uint64(b[16:24]))
+	switch mode := binary.LittleEndian.Uint32(b[24:28]); mode {
+	case 0:
+	case 1:
+		op.Write = true
+	default:
+		return op, fmt.Errorf("trace: utr record: mode %d (want 0 or 1)", mode)
+	}
+	if rsv := binary.LittleEndian.Uint32(b[28:32]); rsv != 0 {
+		return op, fmt.Errorf("trace: utr record: reserved field is %#x, want 0", rsv)
+	}
+	switch {
+	case op.Off < 0:
+		return op, fmt.Errorf("trace: utr record: offset %d must be non-negative", op.Off)
+	case op.Size <= 0:
+		return op, fmt.Errorf("trace: utr record: size %d must be positive", op.Size)
+	case op.Gap < 0 || op.Gap > MaxUTRGap:
+		return op, fmt.Errorf("trace: utr record: gap %v outside [0, %v]", op.Gap, MaxUTRGap)
+	}
+	return op, nil
+}
+
+// ParseUTRHeader validates the fixed header and returns the declared record
+// count and payload CRC. b must hold at least UTRHeaderSize bytes.
+func ParseUTRHeader(b []byte) (count int, crc uint64, err error) {
+	if len(b) < UTRHeaderSize {
+		return 0, 0, fmt.Errorf("trace: utr header truncated: %d bytes, want %d", len(b), UTRHeaderSize)
+	}
+	if !IsUTR(b) {
+		return 0, 0, fmt.Errorf("trace: not a utr trace (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(b[8:12]); v != UTRVersion {
+		return 0, 0, fmt.Errorf("trace: utr version %d not supported (want %d)", v, UTRVersion)
+	}
+	if rsv := binary.LittleEndian.Uint32(b[12:16]); rsv != 0 {
+		return 0, 0, fmt.Errorf("trace: utr header reserved field is %#x, want 0", rsv)
+	}
+	n := binary.LittleEndian.Uint64(b[16:24])
+	if n == 0 {
+		// A zero count is also what a torn write of the placeholder header
+		// leaves behind, so it must fail loudly, like the empty-CSV case.
+		return 0, 0, fmt.Errorf("trace: utr trace holds no IOs")
+	}
+	if n > uint64((math.MaxInt64-UTRHeaderSize)/UTRRecordSize) {
+		return 0, 0, fmt.Errorf("trace: utr record count %d is implausible", n)
+	}
+	return int(n), binary.LittleEndian.Uint64(b[24:32]), nil
+}
+
+// putUTRHeader encodes the header for count records with payload CRC crc.
+func putUTRHeader(dst *[UTRHeaderSize]byte, count uint64, crc uint64) {
+	copy(dst[0:8], UTRMagic)
+	binary.LittleEndian.PutUint32(dst[8:12], UTRVersion)
+	binary.LittleEndian.PutUint32(dst[12:16], 0)
+	binary.LittleEndian.PutUint64(dst[16:24], count)
+	binary.LittleEndian.PutUint64(dst[24:32], crc)
+}
+
+// Scanner streams records out of a .utr trace one at a time at O(1) memory.
+// The header is validated up front; each record is validated as it is read;
+// the payload CRC is accumulated incrementally and checked after the last
+// record, so corruption anywhere in the file fails loudly without ever
+// buffering the trace.
+//
+//	sc, err := trace.NewScanner(r)
+//	for sc.Scan() {
+//	    op := sc.Op()
+//	    ...
+//	}
+//	err = sc.Err()
+type Scanner struct {
+	br      *bufio.Reader
+	count   int
+	scanned int
+	crc     uint64
+	want    uint64
+	op      BlockOp
+	err     error
+	done    bool
+	buf     [UTRRecordSize]byte
+}
+
+// NewScanner reads and validates the .utr header from r and returns a
+// scanner over its records.
+func NewScanner(r io.Reader) (*Scanner, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var hdr [UTRHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: utr header truncated: %w", err)
+	}
+	count, want, err := ParseUTRHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	return &Scanner{br: br, count: count, want: want}, nil
+}
+
+// Count returns the record count declared by the header.
+func (s *Scanner) Count() int { return s.count }
+
+// Scan advances to the next record. It returns false at the end of the
+// trace or on the first error; Err tells the two apart.
+func (s *Scanner) Scan() bool {
+	if s.done || s.err != nil {
+		return false
+	}
+	if s.scanned == s.count {
+		s.done = true
+		if s.crc != s.want {
+			s.err = fmt.Errorf("trace: utr payload CRC mismatch (file %#x, computed %#x)", s.want, s.crc)
+		} else if _, err := s.br.ReadByte(); err == nil {
+			s.err = fmt.Errorf("trace: utr trace has trailing bytes after %d records", s.count)
+		} else if err != io.EOF {
+			s.err = fmt.Errorf("trace: utr read: %w", err)
+		}
+		return false
+	}
+	if _, err := io.ReadFull(s.br, s.buf[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			s.err = fmt.Errorf("trace: utr trace truncated at record %d of %d", s.scanned, s.count)
+		} else {
+			s.err = fmt.Errorf("trace: utr read: %w", err)
+		}
+		return false
+	}
+	s.crc = crc64.Update(s.crc, utrTable, s.buf[:])
+	op, err := DecodeUTRRecord(s.buf[:])
+	if err != nil {
+		s.err = fmt.Errorf("%w (record %d)", err, s.scanned)
+		return false
+	}
+	s.op = op
+	s.scanned++
+	return true
+}
+
+// Op returns the record read by the last successful Scan.
+func (s *Scanner) Op() BlockOp { return s.op }
+
+// Err returns the first error the scanner hit, or nil after a clean scan of
+// the whole trace.
+func (s *Scanner) Err() error { return s.err }
+
+// UTRWriter streams records into a .utr trace. It writes a placeholder
+// header, appends records as they arrive, and patches the real count and
+// CRC into the header on Close — so writers that discover the record count
+// as they go (CSV conversion, live capture) spend O(1) memory. Until Close
+// succeeds the file carries a zero record count, which every reader
+// rejects, so a torn write cannot be mistaken for a valid trace.
+type UTRWriter struct {
+	ws     io.WriteSeeker
+	bw     *bufio.Writer
+	count  uint64
+	crc    uint64
+	buf    [UTRRecordSize]byte
+	closed bool
+}
+
+// NewUTRWriter writes the placeholder header and returns a writer
+// positioned at the first record.
+func NewUTRWriter(ws io.WriteSeeker) (*UTRWriter, error) {
+	var hdr [UTRHeaderSize]byte
+	putUTRHeader(&hdr, 0, 0)
+	bw := bufio.NewWriter(ws)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: utr write: %w", err)
+	}
+	return &UTRWriter{ws: ws, bw: bw}, nil
+}
+
+// Write validates op and appends its record.
+func (u *UTRWriter) Write(op BlockOp) error {
+	if u.closed {
+		return fmt.Errorf("trace: utr write after Close")
+	}
+	if err := EncodeUTRRecord(&u.buf, op); err != nil {
+		return err
+	}
+	if _, err := u.bw.Write(u.buf[:]); err != nil {
+		return fmt.Errorf("trace: utr write: %w", err)
+	}
+	u.crc = crc64.Update(u.crc, utrTable, u.buf[:])
+	u.count++
+	return nil
+}
+
+// Close flushes the records and patches the final header in place. The
+// underlying file is left positioned at the end of the trace and is not
+// closed; that stays with the caller.
+func (u *UTRWriter) Close() error {
+	if u.closed {
+		return nil
+	}
+	u.closed = true
+	if u.count == 0 {
+		return fmt.Errorf("trace: utr trace holds no IOs")
+	}
+	if err := u.bw.Flush(); err != nil {
+		return fmt.Errorf("trace: utr write: %w", err)
+	}
+	var hdr [UTRHeaderSize]byte
+	putUTRHeader(&hdr, u.count, u.crc)
+	if _, err := u.ws.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: utr write: %w", err)
+	}
+	if _, err := u.ws.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: utr write: %w", err)
+	}
+	if _, err := u.ws.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("trace: utr write: %w", err)
+	}
+	return nil
+}
+
+// WriteUTR writes ops as a complete .utr trace to a plain io.Writer. The
+// record count is known up front, so no seeking is needed: one validation
+// pass computes the CRC, a second emits the bytes.
+func WriteUTR(w io.Writer, ops []BlockOp) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("trace: utr trace holds no IOs")
+	}
+	var buf [UTRRecordSize]byte
+	var crc uint64
+	for i, op := range ops {
+		if err := EncodeUTRRecord(&buf, op); err != nil {
+			return fmt.Errorf("%w (record %d)", err, i)
+		}
+		crc = crc64.Update(crc, utrTable, buf[:])
+	}
+	bw := bufio.NewWriter(w)
+	var hdr [UTRHeaderSize]byte
+	putUTRHeader(&hdr, uint64(len(ops)), crc)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: utr write: %w", err)
+	}
+	for _, op := range ops {
+		if err := EncodeUTRRecord(&buf, op); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("trace: utr write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: utr write: %w", err)
+	}
+	return nil
+}
+
+// EncodeUTR renders ops as .utr bytes in memory (tests and small traces;
+// large traces should stream through UTRWriter).
+func EncodeUTR(ops []BlockOp) ([]byte, error) {
+	var b bytes.Buffer
+	b.Grow(UTRHeaderSize + len(ops)*UTRRecordSize)
+	if err := WriteUTR(&b, ops); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// ReadUTR parses a complete .utr trace into memory via the Scanner,
+// enforcing every validation the streaming path does.
+func ReadUTR(r io.Reader) ([]BlockOp, error) {
+	sc, err := NewScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	// The declared count sizes the slice, but capped: a hostile header can
+	// claim any count, and the scanner only proves it against the stream as
+	// records actually arrive. Past the cap append grows the slice normally.
+	capHint := min(sc.Count(), 1<<20)
+	out := make([]BlockOp, 0, capHint)
+	for sc.Scan() {
+		out = append(out, sc.Op())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

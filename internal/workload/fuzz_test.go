@@ -55,10 +55,3 @@ func FuzzReadTrace(f *testing.F) {
 		}
 	})
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -26,6 +27,9 @@ import (
 // lines starting with '#' are comments. Gaps are written with the shortest
 // decimal representation that parses back to the same float, so a
 // write -> read -> write cycle is byte-stable.
+//
+// The binary .utr form of the same stream lives in utr.go; the two formats
+// convert losslessly in both directions.
 
 // traceHeader is the canonical header row WriteTrace emits.
 var traceHeader = []string{"offset", "size", "mode", "gap_us"}
@@ -36,51 +40,132 @@ var traceHeader = []string{"offset", "size", "mode", "gap_us"}
 // in a block trace is nonsense anyway.
 const MaxGapUS = float64((int64(1) << 49) / 1e3)
 
-// WriteTrace writes ops in the block-trace CSV format.
-func WriteTrace(w io.Writer, ops []Op) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(traceHeader); err != nil {
-		return fmt.Errorf("workload: %w", err)
-	}
-	for i, op := range ops {
-		row := []string{
-			strconv.FormatInt(op.IO.Off, 10),
-			strconv.FormatInt(op.IO.Size, 10),
-			op.IO.Mode.String(),
-			strconv.FormatFloat(float64(op.Gap)/1e3, 'g', -1, 64),
-		}
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("workload: trace row %d: %w", i, err)
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+// TraceWriter streams ops into the block-trace CSV format one at a time, so
+// converters and capture tools never hold more than one row in memory.
+type TraceWriter struct {
+	cw  *csv.Writer
+	row [4]string
 }
 
-// ReadTrace parses a block-trace CSV into ops. The header row is optional,
-// '#' lines are comments, and every data row is validated (non-negative
-// offset and gap, positive size, R/W mode).
-func ReadTrace(r io.Reader) ([]Op, error) {
+// NewTraceWriter writes the canonical header row and returns a writer.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return &TraceWriter{cw: cw}, nil
+}
+
+// Write appends one op as a CSV row.
+func (tw *TraceWriter) Write(op Op) error {
+	tw.row[0] = strconv.FormatInt(op.IO.Off, 10)
+	tw.row[1] = strconv.FormatInt(op.IO.Size, 10)
+	tw.row[2] = op.IO.Mode.String()
+	tw.row[3] = strconv.FormatFloat(float64(op.Gap)/1e3, 'g', -1, 64)
+	if err := tw.cw.Write(tw.row[:]); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	return nil
+}
+
+// Flush drains buffered rows and reports any deferred write error.
+func (tw *TraceWriter) Flush() error {
+	tw.cw.Flush()
+	if err := tw.cw.Error(); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	return nil
+}
+
+// WriteTrace writes ops in the block-trace CSV format.
+func WriteTrace(w io.Writer, ops []Op) error {
+	tw, err := NewTraceWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, op := range ops {
+		if err := tw.Write(op); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// TraceScanner streams ops out of a block-trace CSV one row at a time at
+// O(1) memory. Errors carry the actual 1-based file line (comments and the
+// optional header included), not the data-row index.
+type TraceScanner struct {
+	cr    *csv.Reader
+	op    Op
+	err   error
+	count int
+	first bool
+}
+
+// NewTraceScanner returns a scanner over the CSV rows of r.
+func NewTraceScanner(r io.Reader) *TraceScanner {
 	cr := csv.NewReader(r)
 	cr.Comment = '#'
 	cr.FieldsPerRecord = len(traceHeader)
-	var out []Op
-	for row := 0; ; row++ {
-		rec, err := cr.Read()
+	cr.ReuseRecord = true
+	return &TraceScanner{cr: cr, first: true}
+}
+
+// Scan advances to the next op. It returns false at the end of the trace or
+// on the first error; Err tells the two apart.
+func (ts *TraceScanner) Scan() bool {
+	if ts.err != nil {
+		return false
+	}
+	for {
+		rec, err := ts.cr.Read()
 		if err == io.EOF {
-			break
+			return false
 		}
 		if err != nil {
-			return nil, fmt.Errorf("workload: trace row %d: %w", row, err)
+			// csv.ParseError already names the real file line.
+			ts.err = fmt.Errorf("workload: trace: %w", err)
+			return false
 		}
-		if row == 0 && strings.EqualFold(strings.TrimSpace(rec[0]), traceHeader[0]) {
-			continue // optional header
+		if ts.first {
+			ts.first = false
+			if strings.EqualFold(strings.TrimSpace(rec[0]), traceHeader[0]) {
+				continue // optional header
+			}
 		}
 		op, err := parseTraceRow(rec)
 		if err != nil {
-			return nil, fmt.Errorf("workload: trace row %d: %w", row, err)
+			line, _ := ts.cr.FieldPos(0)
+			ts.err = fmt.Errorf("workload: trace line %d: %w", line, err)
+			return false
 		}
-		out = append(out, op)
+		ts.op = op
+		ts.count++
+		return true
+	}
+}
+
+// Op returns the op read by the last successful Scan.
+func (ts *TraceScanner) Op() Op { return ts.op }
+
+// Count returns the number of ops scanned so far.
+func (ts *TraceScanner) Count() int { return ts.count }
+
+// Err returns the first error the scanner hit, or nil.
+func (ts *TraceScanner) Err() error { return ts.err }
+
+// ReadTrace parses a block-trace CSV into ops. The header row is optional,
+// '#' lines are comments, and every data row is validated (non-negative
+// offset and gap, positive size, R/W mode). Errors report the 1-based file
+// line of the offending row.
+func ReadTrace(r io.Reader) ([]Op, error) {
+	ts := NewTraceScanner(r)
+	var out []Op
+	for ts.Scan() {
+		out = append(out, ts.Op())
+	}
+	if err := ts.Err(); err != nil {
+		return nil, err
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("workload: trace holds no IOs")
@@ -149,6 +234,36 @@ func LoadTrace(path string) ([]Op, error) {
 	}
 	defer f.Close()
 	return ReadTrace(f)
+}
+
+// TraceFormatCSV and TraceFormatUTR name the two on-disk trace formats.
+const (
+	TraceFormatCSV = "csv"
+	TraceFormatUTR = "utr"
+)
+
+// SniffTraceFormat classifies the first bytes of a trace stream by the .utr
+// magic: anything else is treated as CSV (which has no magic of its own).
+func SniffTraceFormat(head []byte) string {
+	if trace.IsUTR(head) {
+		return TraceFormatUTR
+	}
+	return TraceFormatCSV
+}
+
+// SniffTraceFile classifies a trace file by content, not extension.
+func SniffTraceFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	head := make([]byte, len(trace.UTRMagic))
+	n, err := io.ReadFull(f, head)
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return "", fmt.Errorf("workload: %w", err)
+	}
+	return SniffTraceFormat(head[:n]), nil
 }
 
 // Trace adapts a parsed op stream to the Generator interface so replayed

@@ -99,6 +99,34 @@ func TestTraceCSVRejectsBadRows(t *testing.T) {
 	}
 }
 
+// TestTraceErrorsReportFileLines: parse errors name the actual 1-based file
+// line, counting comments and the optional header — not the data-row index,
+// which drifts as soon as either is present.
+func TestTraceErrorsReportFileLines(t *testing.T) {
+	in := strings.Join([]string{
+		"# synthetic trace",       // line 1
+		"# second comment",        // line 2
+		"offset,size,mode,gap_us", // line 3
+		"4096,512,R,0",            // line 4
+		"4096,512,X,0",            // line 5: bad mode
+	}, "\n")
+	_, err := workload.ReadTrace(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("bad row accepted")
+	}
+	if !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("error %q does not name file line 5", err)
+	}
+
+	// CSV-structure errors (wrong field count) go through encoding/csv's
+	// ParseError, which also carries the real line.
+	in = "# comment\noffset,size,mode,gap_us\n4096,512,R,0\n4096,512\n"
+	_, err = workload.ReadTrace(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error %q does not name file line 4", err)
+	}
+}
+
 func TestTraceGenerator(t *testing.T) {
 	tr := workload.Trace{Label: "t.csv", Ops: []workload.Op{{IO: device.IO{Mode: device.Read, Size: 512}}}}
 	if tr.Name() != "trace(t.csv)" {

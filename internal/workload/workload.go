@@ -197,29 +197,84 @@ type Result struct {
 	Faults device.FaultStats
 }
 
+// Source is an op stream the engine can replay segment by segment without
+// the whole stream ever being materialized: Len comes from metadata (the
+// .utr header's record count), and each engine job asks only for its own
+// contiguous window. Segment must be safe for concurrent calls with
+// disjoint windows.
+type Source interface {
+	// Name labels the workload in reports.
+	Name() string
+	// Len is the stream length in ops.
+	Len() int
+	// Segment materializes ops [start, start+n) in stream order.
+	Segment(start, n int) ([]Op, error)
+}
+
+// opsSource adapts an in-memory stream to Source; Segment returns subslices,
+// so the slice-backed replay path is exactly as cheap as before.
+type opsSource struct {
+	name string
+	ops  []Op
+}
+
+func (s opsSource) Name() string { return s.name }
+func (s opsSource) Len() int     { return len(s.ops) }
+func (s opsSource) Segment(start, n int) ([]Op, error) {
+	if start < 0 || n <= 0 || start > len(s.ops)-n {
+		return nil, fmt.Errorf("workload: segment [%d:%d) outside %d ops", start, start+n, len(s.ops))
+	}
+	return s.ops[start : start+n], nil
+}
+
+// OpsSource wraps an in-memory stream as a Source.
+func OpsSource(name string, ops []Op) Source { return opsSource{name: name, ops: ops} }
+
 // ReplayParallel replays the stream through the engine: Split segments, one
 // private device per segment (built by factory from the segment's derived
 // seed), runs merged in stream order. The result is byte-identical for any
 // opts.Workers value.
 func ReplayParallel(ctx context.Context, name string, ops []Op, factory engine.DeviceFactory, opts Options) (*Result, error) {
-	if len(ops) == 0 {
+	return ReplaySource(ctx, opsSource{name: name, ops: ops}, factory, opts)
+}
+
+// ReplaySource is ReplayParallel over a Source: the partition is computed
+// from src.Len() with the same arithmetic Split uses, each engine job
+// materializes only its own segment, and the merged result is byte-identical
+// to replaying the materialized stream — for any opts.Workers value and for
+// any Source backing (in-memory slice or .utr file).
+func ReplaySource(ctx context.Context, src Source, factory engine.DeviceFactory, opts Options) (*Result, error) {
+	total := src.Len()
+	if total == 0 {
 		return nil, fmt.Errorf("workload: empty op stream")
 	}
-	segs := Split(ops, opts.SegmentOps)
-	jobs := make([]engine.Job, len(segs))
-	for i, seg := range segs {
-		seg := seg
-		jobs[i] = engine.Job{
-			ID: fmt.Sprintf("%s/seg=%d", name, seg.Index),
+	name := src.Name()
+	segOps := opts.SegmentOps
+	if segOps <= 0 || segOps >= total {
+		segOps = total
+	}
+	jobs := make([]engine.Job, 0, (total+segOps-1)/segOps)
+	for start := 0; start < total; start += segOps {
+		start := start
+		n := segOps
+		if start+n > total {
+			n = total - start
+		}
+		jobs = append(jobs, engine.Job{
+			ID: fmt.Sprintf("%s/seg=%d", name, len(jobs)),
 			Run: func(ctx context.Context, dev device.Device, startAt time.Duration) (*core.Run, error) {
-				run, err := Replay(ctx, dev, seg.Ops, startAt)
+				ops, err := src.Segment(start, n)
 				if err != nil {
 					return nil, err
 				}
-				run.Name = fmt.Sprintf("%s[%d:%d]", name, seg.Start, seg.Start+len(seg.Ops))
+				run, err := Replay(ctx, dev, ops, startAt)
+				if err != nil {
+					return nil, err
+				}
+				run.Name = fmt.Sprintf("%s[%d:%d]", name, start, start+n)
 				return run, nil
 			},
-		}
+		})
 	}
 	runs, err := engine.ExecuteJobs(ctx, jobs, factory, engine.Options{
 		Workers:  opts.Workers,
@@ -229,9 +284,9 @@ func ReplayParallel(ctx context.Context, name string, ops []Op, factory engine.D
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Name: name, Ops: len(ops), Segments: runs}
+	res := &Result{Name: name, Ops: total, Segments: runs}
 	w := stats.NewWindowed(opts.windowOps())
-	merged := make([]time.Duration, 0, len(ops))
+	merged := make([]time.Duration, 0, total)
 	for _, run := range runs {
 		if res.Device == "" {
 			res.Device = run.Device
