@@ -9,11 +9,17 @@ build:
 test:
 	$(GO) test -race ./...
 
+# Static analysis: go vet, simplified-gofmt cleanliness, the repo-specific
+# uflint suite (detwall, cloneguard, batchcontract) over every package and
+# its tests, and the allocfree escape gate (-escapes) against the committed
+# allowlist in internal/lint/testdata/hotpath.allow.
 lint:
 	$(GO) vet ./...
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; \
 	fi
+	$(GO) run ./cmd/uflint ./...
+	$(GO) run ./cmd/uflint -escapes ./...
 
 # One smoke iteration of every paper benchmark (and the engine speedup
 # benchmark); drop -benchtime for real measurements.

@@ -1,0 +1,85 @@
+// Command uflint runs uflip's repo-invariant static-analysis suite: the
+// detwall, cloneguard and batchcontract analyzers over the module source,
+// or — with -escapes — the allocfree escape gate over the compiler's
+// -gcflags=-m output.
+//
+// Usage:
+//
+//	uflint [packages]              run the static analyzers (default ./...)
+//	uflint -escapes [packages]     run the hot-path escape gate
+//	uflint -allow FILE -escapes    use FILE as the escape allowlist
+//
+// uflint exits 1 when any finding survives the //uflint: annotations, and
+// prints findings one per line as file:line:col: analyzer(class): message.
+// See the README's "Static analysis & invariants" section for the
+// annotation grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uflip/internal/lint"
+)
+
+func main() {
+	escapes := flag.Bool("escapes", false, "run the allocfree escape gate instead of the static analyzers")
+	allow := flag.String("allow", lint.DefaultAllowFile, "escape allowlist file (with -escapes)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: uflint [-escapes] [-allow file] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	if *escapes {
+		os.Exit(runEscapes(patterns, *allow))
+	}
+	os.Exit(runStatic(patterns))
+}
+
+func runStatic(patterns []string) int {
+	pkgs, err := lint.Load(lint.Config{Tests: true}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uflint:", err)
+		return 2
+	}
+	diags, err := lint.Check(pkgs, lint.Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uflint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "uflint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func runEscapes(patterns []string, allowFile string) int {
+	res, err := lint.RunEscapes("", patterns, allowFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uflint -escapes:", err)
+		return 2
+	}
+	for _, s := range res.Stale {
+		fmt.Fprintf(os.Stderr, "uflint -escapes: stale allowlist entry (no longer produced): %s\n", s)
+	}
+	for _, s := range res.New {
+		fmt.Println(s)
+	}
+	if len(res.New) > 0 {
+		fmt.Fprintf(os.Stderr, "uflint -escapes: %d new heap escape(s) on //uflint:hotpath functions; fix them or extend %s\n",
+			len(res.New), allowFile)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "uflint -escapes: %d hotpath function(s) clean against allowlist\n", res.HotFuncs)
+	return 0
+}

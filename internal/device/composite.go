@@ -129,14 +129,14 @@ func (q *memberQueue) clone() memberQueue {
 // service start (a FIFO member queues identically on either side of the
 // gate).
 type CompositeDevice struct {
-	cfg      CompositeConfig
+	cfg      CompositeConfig //uflint:shared — immutable spec; snapshots restore into a same-spec build
 	members  []Device
-	capacity int64
+	capacity int64 //uflint:shared — derived from the members at construction
 
 	// Stripe geometry (LayoutStripe only).
-	chunk int64
+	chunk int64 //uflint:shared — immutable stripe geometry
 	// Concat member boundaries: member m covers [bounds[m], bounds[m+1]).
-	bounds []int64
+	bounds []int64 //uflint:shared — derived from the members at construction
 
 	queues       []memberQueue
 	dispatchFree time.Duration
@@ -151,7 +151,7 @@ type CompositeDevice struct {
 
 	// frags is the per-Submit fragment scratch, reused so the steady-state
 	// Submit path does not allocate.
-	frags []fragment
+	frags []fragment //uflint:scratch — per-Submit buffer, dead between calls
 
 	ios int64
 }
@@ -423,6 +423,8 @@ func (d *CompositeDevice) Submit(at time.Duration, io IO) (time.Duration, error)
 // scheduling evolve exactly as under per-IO Submit — each IO's fragments
 // still dispatch in ascending first-logical-byte order before the next IO's
 // — so completions are byte-identical to the per-IO path.
+//
+//uflint:hotpath
 func (d *CompositeDevice) SubmitBatch(at time.Duration, ios []IO, done []time.Duration) error {
 	if err := checkBatch(ios, done); err != nil {
 		return err

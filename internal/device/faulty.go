@@ -121,8 +121,8 @@ func faultDraw(seed, op int64, salt uint64) float64 {
 // would see at that point.
 type FaultyDevice struct {
 	inner Device
-	cfg   FaultConfig
-	name  string
+	cfg   FaultConfig //uflint:shared — immutable fault schedule parameters
+	name  string      //uflint:shared — immutable label from the spec
 
 	op       int64
 	dead     bool
@@ -177,6 +177,8 @@ func (f *FaultyDevice) Submit(at time.Duration, io IO) (time.Duration, error) {
 // schedule, aborting with a *BatchError whose done[:Index] prefix is valid
 // and whose done[Index:] suffix still holds the input encodings — which is
 // what lets SubmitBatchRetry resubmit the tail.
+//
+//uflint:hotpath
 func (f *FaultyDevice) SubmitBatch(at time.Duration, ios []IO, done []time.Duration) error {
 	if !f.cfg.armed() {
 		return f.inner.SubmitBatch(at, ios, done)

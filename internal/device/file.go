@@ -61,7 +61,7 @@ func OpenFileDevice(path string, size int64, opts ...FileOption) (*FileDevice, e
 		f.Close()
 		return nil, fmt.Errorf("device: %s has zero size; pass an explicit size", path)
 	}
-	d := &FileDevice{f: f, name: path, capacity: capacity, start: time.Now()}
+	d := &FileDevice{f: f, name: path, capacity: capacity, start: time.Now()} //uflint:allow wallclock — FileDevice drives real hardware; its clock is the wall clock
 	for _, o := range opts {
 		o(d)
 	}
@@ -78,7 +78,7 @@ func (d *FileDevice) SectorSize() int { return 512 }
 func (d *FileDevice) Name() string { return d.name }
 
 // ResetClock restarts the run-relative clock; call at the start of each run.
-func (d *FileDevice) ResetClock() { d.start = time.Now() }
+func (d *FileDevice) ResetClock() { d.start = time.Now() } //uflint:allow wallclock — real-hardware run-relative clock
 
 // Close closes the underlying file.
 func (d *FileDevice) Close() error {
@@ -110,8 +110,8 @@ func (d *FileDevice) Submit(at time.Duration, io IO) (time.Duration, error) {
 		d.buf = make([]byte, io.Size)
 	}
 	buf := d.buf[:io.Size]
-	if wait := at - time.Since(d.start); wait > 0 {
-		time.Sleep(wait)
+	if wait := at - time.Since(d.start); wait > 0 { //uflint:allow wallclock — real hardware: submission times are wall-clock deadlines
+		time.Sleep(wait) //uflint:allow wallclock — real hardware: waits for the submission deadline
 	}
 	var err error
 	switch io.Mode {
@@ -128,5 +128,5 @@ func (d *FileDevice) Submit(at time.Duration, io IO) (time.Duration, error) {
 	if err != nil {
 		return 0, fmt.Errorf("device %s: %w", d.name, err)
 	}
-	return time.Since(d.start), nil
+	return time.Since(d.start), nil //uflint:allow wallclock — real hardware: completions are measured on the wall clock
 }

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -80,7 +81,10 @@ func FuzzSubmitBatchEquivalence(f *testing.F) {
 		}
 		for i := range done {
 			if errBatch != nil {
-				be := errBatch.(*BatchError)
+				var be *BatchError
+				if !errors.As(errBatch, &be) {
+					t.Fatalf("batch error is not a *BatchError: %v", errBatch)
+				}
 				if i >= be.Index {
 					break // slots at and past the failure are unspecified
 				}
@@ -132,7 +136,10 @@ func FuzzSubmitBatchEquivalence(f *testing.F) {
 		}
 		for i := range doneFB {
 			if errFB != nil {
-				be := errFB.(*BatchError)
+				var be *BatchError
+				if !errors.As(errFB, &be) {
+					t.Fatalf("faulty batch error is not a *BatchError: %v", errFB)
+				}
 				if i >= be.Index {
 					break
 				}

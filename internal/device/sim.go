@@ -56,9 +56,9 @@ type SimConfig struct {
 // devices (and all reads) overlap the transfer with the flash work of the
 // same IO and complete when the longer of the two finishes.
 type SimDevice struct {
-	cfg   SimConfig
+	cfg   SimConfig //uflint:shared — immutable config; snapshots restore into a same-profile build
 	top   ftl.Translator
-	model ftl.CostModel
+	model ftl.CostModel //uflint:shared — cost tables wired at construction
 
 	busFree   time.Duration
 	flashFree time.Duration
@@ -111,6 +111,8 @@ func (d *SimDevice) Top() ftl.Translator { return d.top }
 func (d *SimDevice) IOs() int64 { return d.ios }
 
 // Submit services one IO at virtual time at.
+//
+//uflint:hotpath
 func (d *SimDevice) Submit(at time.Duration, io IO) (time.Duration, error) {
 	return d.service(at, io, d.Capacity())
 }
@@ -120,6 +122,8 @@ func (d *SimDevice) Submit(at time.Duration, io IO) (time.Duration, error) {
 // the executor loop: one virtual call, the logical capacity resolved once,
 // and the bus/flash pipeline clocks updated in a single frame across the
 // whole batch. Completion times are byte-identical to per-IO Submit.
+//
+//uflint:hotpath
 func (d *SimDevice) SubmitBatch(at time.Duration, ios []IO, done []time.Duration) error {
 	if err := checkBatch(ios, done); err != nil {
 		return err
@@ -139,6 +143,8 @@ func (d *SimDevice) SubmitBatch(at time.Duration, ios []IO, done []time.Duration
 
 // service is the shared body of Submit and SubmitBatch: one IO at time at,
 // against the pre-resolved logical capacity.
+//
+//uflint:hotpath
 func (d *SimDevice) service(at time.Duration, io IO, capacity int64) (time.Duration, error) {
 	if err := checkIO(io, capacity); err != nil {
 		return 0, err

@@ -155,7 +155,7 @@ type Stats struct {
 // behind its controller.
 type Chip struct {
 	geo    Geometry
-	timing Timing
+	timing Timing //uflint:shared — immutable cost table from the profile
 	cell   CellType
 
 	blocks []blockState
@@ -172,7 +172,7 @@ type Chip struct {
 
 	// transfer is the register <-> controller time for one page plus OOB,
 	// precomputed from the timing so the per-IO paths do not multiply.
-	transfer time.Duration
+	transfer time.Duration //uflint:shared — precomputed from the immutable timing
 
 	// data holds page payloads when storeData is enabled.
 	storeData bool

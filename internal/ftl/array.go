@@ -15,9 +15,9 @@ import (
 // budgets), not timing.
 type Array struct {
 	chips         []*flash.Chip
-	geo           flash.Geometry
-	blocksPerChip int
-	totalBlocks   int
+	geo           flash.Geometry //uflint:shared — derived from the chips at construction
+	blocksPerChip int            //uflint:shared — derived from the geometry
+	totalBlocks   int            //uflint:shared — derived from the geometry
 }
 
 // NewArray builds an array over chips, which must share one geometry.

@@ -54,12 +54,12 @@ type logEnt struct {
 // programming constraint), so out-of-order writes force full merges.
 type BlockFTL struct {
 	arr   *Array
-	cfg   BlockConfig
-	model CostModel
+	cfg   BlockConfig //uflint:shared — immutable config from the profile
+	model CostModel   //uflint:shared — immutable cost tables
 
-	blockBytes    int64
-	pagesPerBlock int
-	lbnCount      int64
+	blockBytes    int64 //uflint:shared — derived from the geometry
+	pagesPerBlock int   //uflint:shared — derived from the geometry
+	lbnCount      int64 //uflint:shared — derived from the geometry
 
 	data []int32 // lbn -> physical block, -1 unmapped
 	logs map[int64]*logEnt
@@ -73,10 +73,10 @@ type BlockFTL struct {
 
 	// Data plane (flash built with data storage only): pending host bytes
 	// of the WriteData call in flight, and a one-page staging buffer.
-	dataMode   bool
-	pending    []byte
-	pendingOff int64
-	pageBuf    []byte
+	dataMode   bool   //uflint:shared — wired at construction from the flash build
+	pending    []byte //uflint:scratch — alive only within one WriteData call
+	pendingOff int64  //uflint:scratch — alive only within one WriteData call
+	pageBuf    []byte //uflint:scratch — staging buffer; contents dead between calls
 }
 
 // NewBlockFTL builds a block-mapped FTL over the array. The flash must be in
@@ -237,8 +237,11 @@ func (f *BlockFTL) allocLog(lbn int64, ops *Ops) (*logEnt, error) {
 		var victim int64 = -1
 		var oldest int64
 		for l, e := range f.logs {
-			if victim < 0 || e.lastUse < oldest {
-				victim, oldest = l, e.lastUse
+			// Strict total order on (lastUse, lbn): the lbn tie-break keeps
+			// the choice independent of map iteration order even if two
+			// logs ever share a tick.
+			if victim < 0 || e.lastUse < oldest || (e.lastUse == oldest && l < victim) {
+				victim, oldest = l, e.lastUse //uflint:allow maporder — min-selection under a strict total order is order-independent
 			}
 		}
 		if err := f.fullMerge(victim, ops); err != nil {

@@ -163,39 +163,39 @@ type CacheStats struct {
 // and bookkeeping information").
 type WriteCache struct {
 	inner Translator
-	model CostModel
-	cfg   CacheConfig
+	model CostModel   //uflint:shared — immutable cost tables
+	cfg   CacheConfig //uflint:shared — immutable config from the profile
 
-	linesPerRegion int64
-	lineWords      int // bitset words per region
-	capLines       int64
+	linesPerRegion int64 //uflint:shared — derived from the config
+	lineWords      int   //uflint:shared — bitset words per region, derived from the config
+	capLines       int64 //uflint:shared — derived from the config
 	totalLines     int64
 	// regions is indexed by region id (logical offset / RegionBytes); nil
 	// means the region holds no dirty lines. The dense index replaces a
 	// map — region ids are bounded by the device capacity, and the write
 	// hot path spends most of its time looking regions up.
-	regions   []*cacheRegion
+	regions   []*cacheRegion //uflint:scratch — Snapshot walks the LRU chains; Restore rebuilds the dense index from them
 	streamLRU regionList
 	zoneLRU   regionList
 	// freeRegions recycles region structs (linked through next) so the
 	// steady state of flush-then-redirty does not allocate.
-	freeRegions *cacheRegion
+	freeRegions *cacheRegion //uflint:scratch — allocation recycler, not state
 
 	stats      CacheStats
 	idleCredit time.Duration
 
 	// touched is a per-call scratch buffer reused across writes so the hot
 	// path does not allocate.
-	touched []*cacheRegion
+	touched []*cacheRegion //uflint:scratch — per-call buffer, dead between calls
 
 	// Data plane (inner stack stores payloads only): buffered bytes per
 	// dirty line, the inner layer's data interfaces, and a flush-run
 	// staging buffer.
 	dataMode  bool
 	lineData  map[int64][]byte
-	innerData DataPlane
-	innerPeek peeker
-	runBuf    []byte
+	innerData DataPlane //uflint:shared — wired at construction from the inner stack
+	innerPeek peeker    //uflint:shared — wired at construction from the inner stack
+	runBuf    []byte    //uflint:scratch — flush-run staging; contents dead between calls
 }
 
 // NewWriteCache wraps inner with a region-coalescing write-back buffer. A

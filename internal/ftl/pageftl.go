@@ -93,13 +93,13 @@ type writePoint struct {
 // the paper's device set.
 type PageFTL struct {
 	arr   *Array
-	cfg   PageConfig
-	model CostModel
+	cfg   PageConfig //uflint:shared — immutable config from the profile
+	model CostModel  //uflint:shared — immutable cost tables
 
-	unitBytes     int64
-	pagesPerUnit  int
-	unitsPerBlock int
-	logicalUnits  int64
+	unitBytes     int64 //uflint:shared — derived from the geometry
+	pagesPerUnit  int   //uflint:shared — derived from the geometry
+	unitsPerBlock int   //uflint:shared — derived from the geometry
+	logicalUnits  int64 //uflint:shared — derived from the geometry
 
 	fmap []int64 // logical unit -> physical slot (block*unitsPerBlock+slot), -1 unmapped
 	rmap []int64 // physical slot -> logical unit, -1 free/obsolete
@@ -124,10 +124,10 @@ type PageFTL struct {
 	// Data plane (flash built with data storage only): pending host bytes
 	// of the WriteData call in flight, and the staging buffer holding one
 	// unit's merged payload while it is relocated.
-	dataMode   bool
-	pending    []byte
-	pendingOff int64
-	unitData   []byte
+	dataMode   bool   //uflint:shared — wired at construction from the flash build
+	pending    []byte //uflint:scratch — alive only within one WriteData call
+	pendingOff int64  //uflint:scratch — alive only within one WriteData call
+	unitData   []byte //uflint:scratch — relocation staging; contents dead between calls
 }
 
 // NewPageFTL builds a page-mapped FTL over the array. The flash must be in

@@ -250,7 +250,7 @@ func (f *BlockFTL) Snapshot() *BlockFTLSnapshot {
 		LastReadSlot: f.lastReadSlot,
 	}
 	for lbn, e := range f.logs {
-		s.Logs = append(s.Logs, LogSnapshot{LBN: lbn, PB: e.pb, NextPage: e.nextPage, LastUse: e.lastUse})
+		s.Logs = append(s.Logs, LogSnapshot{LBN: lbn, PB: e.pb, NextPage: e.nextPage, LastUse: e.lastUse}) //uflint:allow maporder — rows are sorted by LBN just below
 	}
 	// Map iteration order is random; sort so identical states snapshot
 	// identically.

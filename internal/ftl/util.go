@@ -17,6 +17,8 @@ type minHeap[T ordered[T]] struct {
 func (h *minHeap[T]) Len() int { return len(h.items) }
 
 // Push adds x, restoring the heap invariant.
+//
+//uflint:hotpath
 func (h *minHeap[T]) Push(x T) {
 	h.items = append(h.items, x)
 	i := len(h.items) - 1
@@ -32,6 +34,8 @@ func (h *minHeap[T]) Push(x T) {
 
 // Pop removes and returns the minimum element; it must not be called on an
 // empty heap.
+//
+//uflint:hotpath
 func (h *minHeap[T]) Pop() T {
 	n := len(h.items) - 1
 	h.items[0], h.items[n] = h.items[n], h.items[0]
@@ -116,10 +120,10 @@ type victimHeap = minHeap[victimBlock]
 // The FIFO of dirty pages lives in a fixed ring (at most limit+1 pages are
 // ever dirty), so steady-state touches never allocate.
 type mapBook struct {
-	unitsPerPage int64
-	limit        int
-	dirty        map[int64]struct{}
-	order        []int64 // ring buffer of dirty map pages, FIFO
+	unitsPerPage int64              //uflint:shared — derived from the geometry
+	limit        int                //uflint:shared — immutable config
+	dirty        map[int64]struct{} //uflint:scratch — Snapshot carries the ring; Restore rebuilds the set from it
+	order        []int64            // ring buffer of dirty map pages, FIFO
 	head, queued int
 	lastFlushed  int64
 }
@@ -145,6 +149,8 @@ func newMapBook(unitsPerPage int64, limit int) mapBook {
 // itself a sequential write and stays cheap (one page program); it is the
 // scattered map-page flushes — random or strided data writes hopping between
 // map pages — that pay the full bookkeeping-block cycle.
+//
+//uflint:hotpath
 func (b *mapBook) touch(unit int64, ops *Ops) {
 	page := unit / b.unitsPerPage
 	if _, ok := b.dirty[page]; ok {

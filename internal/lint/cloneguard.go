@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CloneGuard catches the "added a field, forgot Clone" bug class at compile
+// time: for every struct type with a Clone/Snapshot/Restore method (any
+// case), each field of the struct must be referenced somewhere in that
+// method's body, or carry an //uflint:shared or //uflint:scratch annotation.
+// A whole-struct copy (`*recv` in the body) references every field at once.
+//
+// The differential clone-vs-rebuild oracles from PRs 3/5/8 catch a missed
+// field only when a test drives state through it; this check fires the
+// moment the field is declared.
+var CloneGuard = &Analyzer{
+	Name: "cloneguard",
+	Doc: `every field of a struct with a Clone/Snapshot/Restore method must be
+referenced in that method or annotated //uflint:shared or //uflint:scratch`,
+	Run: runCloneGuard,
+}
+
+// cloneMethodNames matches lower- and upper-case variants: the repo's
+// internal clone() helpers (minHeap.clone, mapBook.clone) carry the same
+// contract as the exported Clone methods.
+func isCloneMethodName(name string) bool {
+	switch strings.ToLower(name) {
+	case "clone", "snapshot", "restore":
+		return true
+	}
+	return false
+}
+
+func runCloneGuard(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !isCloneMethodName(fd.Name.Name) {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Signature().Recv()
+			if recv == nil {
+				continue
+			}
+			st, ok := derefStruct(recv.Type())
+			if !ok || st.NumFields() == 0 {
+				continue
+			}
+			checkCloneMethod(pass, fd, recv, st)
+		}
+	}
+	return nil
+}
+
+// derefStruct unwraps a (possibly pointer) receiver type to its struct
+// underlying type.
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+func checkCloneMethod(pass *Pass, fd *ast.FuncDecl, recv *types.Var, st *types.Struct) {
+	info := pass.Pkg.Info
+
+	// Identify the receiver's object so `cp := *c` (a whole-struct copy,
+	// which reads every field) can be recognized.
+	var recvObj types.Object
+	if names := fd.Recv.List[0].Names; len(names) == 1 {
+		recvObj = info.Defs[names[0]]
+	}
+
+	// Field identity across generic instantiation is by declaration
+	// position: the instantiated field objects keep the source positions of
+	// the generic declaration.
+	referenced := make(map[int]bool, st.NumFields())
+	wholeCopy := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok && v.IsField() {
+				referenced[int(v.Pos())] = true
+			}
+		case *ast.StarExpr:
+			if id, ok := n.X.(*ast.Ident); ok && recvObj != nil && info.Uses[id] == recvObj {
+				wholeCopy = true
+			}
+		}
+		return true
+	})
+	if wholeCopy {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if referenced[int(fld.Pos())] || pass.fieldExempt(fld.Pos()) {
+			continue
+		}
+		pass.Reportf(fld.Pos(), "clonefield",
+			"field %s is not referenced in (%s).%s; clone it there or annotate it //uflint:shared or //uflint:scratch",
+			fld.Name(), types.TypeString(recv.Type(), types.RelativeTo(pass.Pkg.Types)), fd.Name.Name)
+	}
+}

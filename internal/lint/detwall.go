@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetWall enforces determinism in the simulation packages: no wall-clock
+// reads, no global math/rand source, no order-dependent map iteration.
+// Everything between a seed and a result must be a pure function of the
+// seed, or byte-identity across -parallel values is gone.
+var DetWall = &Analyzer{
+	Name: "detwall",
+	Doc: `forbid wall-clock time, the global math/rand source, and
+order-dependent map iteration in simulation packages`,
+	Run: runDetWall,
+}
+
+// wallClockFuncs are the package-level time functions that read or wait on
+// the real clock. Pure constructors/types (time.Duration, time.Unix) are
+// fine: it is the ambient clock that breaks determinism.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// mathRandConstructors are the package-level math/rand functions that do NOT
+// touch the global source; everything else package-level does.
+var mathRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetWall(pass *Pass) error {
+	if !pass.Sim {
+		return nil
+	}
+	for i, f := range pass.Pkg.Files {
+		// Test files may time out, poll, or measure for real; the
+		// determinism contract binds the simulation code they test.
+		if strings.HasSuffix(pass.Pkg.Filenames[i], "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				checkClockAndRand(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkClockAndRand(pass *Pass, id *ast.Ident) {
+	fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(id.Pos(), "wallclock",
+				"time.%s reads the wall clock; simulation code must use simulated time", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !mathRandConstructors[fn.Name()] {
+			pass.Reportf(id.Pos(), "mathrand",
+				"rand.%s draws from the global source; use a seeded *rand.Rand", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags statements inside a range-over-map body whose effect
+// depends on iteration order. The rule is mechanical; order-independent
+// shapes are exempt:
+//
+//   - writes into a map or slice indexed by the loop key (keyed copies)
+//   - commutative integer aggregation (+=, -=, *=, |=, &=, ^=, ++, --)
+//   - delete(...) and writes whose target is declared inside the loop
+//
+// Everything else that writes outer state, sends on a channel, or returns a
+// value derived from the loop variables is reported.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	// The loop key/value objects, and the ranged map's root object (for the
+	// delete exemption and self-writes).
+	keyObj := rangeVarObj(info, rng.Key)
+	valObj := rangeVarObj(info, rng.Value)
+
+	// Using `for k = range m` with an outer k leaves a random key behind.
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && rng.Tok == token.ASSIGN && id.Name != "_" {
+			if obj := info.Uses[id]; obj != nil && !within(obj.Pos(), rng) {
+				pass.Reportf(id.Pos(), "maporder",
+					"range over map assigns outer variable %s; its final value depends on iteration order", id.Name)
+			}
+		}
+	}
+
+	// An unresolvable write root (nil object: a write through a call result
+	// or similar) is conservatively treated as outer state.
+	local := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() != token.NoPos && within(obj.Pos(), rng)
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkMapRangeWrite(pass, rng, n, lhs, keyObj, valObj, local)
+			}
+		case *ast.IncDecStmt:
+			obj, root := writeRoot(info, n.X)
+			if local(obj) || isInteger(info, root) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "maporder",
+				"non-integer update of %s inside range over map is order-dependent", exprName(root))
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "maporder",
+				"channel send inside range over map publishes values in map order")
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if mentions(info, res, keyObj, valObj) {
+					pass.Reportf(n.Pos(), "maporder",
+						"return of a value derived from the loop variables; which entry returns depends on iteration order")
+					break
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" && isBuiltin(info, id) {
+				for _, arg := range n.Args {
+					if mentions(info, arg, keyObj, valObj) {
+						pass.Reportf(n.Pos(), "maporder",
+							"panic message derived from the loop variables depends on iteration order")
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeWrite(pass *Pass, rng *ast.RangeStmt, assign *ast.AssignStmt, lhs ast.Expr,
+	keyObj, valObj types.Object, local func(types.Object) bool) {
+	info := pass.Pkg.Info
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	// Keyed writes (dst[k] = ..., or any index mentioning the loop key) hit
+	// one distinct slot per iteration: order-independent.
+	if ix, ok := lhs.(*ast.IndexExpr); ok && mentions(info, ix.Index, keyObj, valObj) {
+		return
+	}
+	obj, root := writeRoot(info, lhs)
+	if local(obj) {
+		return
+	}
+	// Commutative integer aggregation is order-independent; float
+	// accumulation and plain assignment are not.
+	switch assign.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		if isInteger(info, lhs) {
+			return
+		}
+	}
+	what := "write to " + exprName(root)
+	if len(assign.Rhs) == 1 {
+		if call, ok := assign.Rhs[0].(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltin(info, id) {
+				what = "append to " + exprName(root)
+			}
+		}
+	}
+	pass.Reportf(assign.Pos(), "maporder",
+		"%s inside range over map is order-dependent; iterate sorted keys instead", what)
+}
+
+// rangeVarObj resolves a range key/value expression to its object.
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// writeRoot resolves the outermost lvalue to the object of its leftmost
+// identifier: x -> x, s.f.g -> s, a[i] -> a, (*p).f -> p. A nil object means
+// the root could not be resolved (writes through arbitrary pointers): the
+// caller treats that as non-local.
+func writeRoot(info *types.Info, e ast.Expr) (types.Object, ast.Expr) {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj, v
+			}
+			return info.Defs[v], v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil, e
+		}
+	}
+}
+
+// mentions reports whether expr references any of the given objects.
+func mentions(info *types.Info, expr ast.Expr, objs ...types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		use := info.Uses[id]
+		for _, obj := range objs {
+			if obj != nil && use == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltin reports whether the identifier resolves to the predeclared
+// builtin of that name (not shadowed by a local declaration).
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		return true // predeclared and unrecorded: not shadowed
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+func isInteger(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func within(pos token.Pos, n ast.Node) bool {
+	return pos >= n.Pos() && pos < n.End()
+}
+
+func exprName(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "expression"
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// The //uflint: directive grammar (no space after //, like //go: directives):
+//
+//	//uflint:allow <class> — <reason>   suppress findings of <class> on this
+//	                                    line or the next one; reason required
+//	//uflint:shared [— reason]          field is deliberately shared between a
+//	                                    clone and its original (cloneguard)
+//	//uflint:scratch [— reason]         field is scratch state a clone need
+//	                                    not carry (cloneguard)
+//	//uflint:hotpath                    function is a pinned allocation-free
+//	                                    hot path (uflint -escapes)
+//
+// The reason separator may be an em dash, "--", "-", or just whitespace.
+// Anything else after "//uflint:" is a malformed directive and is itself
+// reported (class "directive", not suppressible).
+
+// allowClasses are the annotation classes analyzers report under.
+var allowClasses = map[string]bool{
+	"wallclock": true, // detwall: real-clock calls
+	"mathrand":  true, // detwall: math/rand global source
+	"maporder":  true, // detwall: order-dependent map iteration
+	"batcherr":  true, // batchcontract: discarded SubmitBatch error
+	"batchas":   true, // batchcontract: BatchError type assertion
+}
+
+type directive struct {
+	kind   string // "allow", "shared", "scratch", "hotpath"
+	class  string // for "allow"
+	reason string
+	// ownLine is true when nothing but whitespace precedes the comment on
+	// its line. A trailing directive covers only its own line; a standalone
+	// one also covers the line below (the doc-comment position).
+	ownLine bool
+}
+
+type directiveIndex struct {
+	// byLine maps file -> line -> directives written on that line.
+	byLine map[string]map[int][]directive
+	bad    []Diagnostic
+}
+
+const directivePrefix = "//uflint:"
+
+// scanDirectives indexes every //uflint: comment in the files and validates
+// its grammar; malformed directives land in bad.
+func scanDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{byLine: make(map[string]map[int][]directive)}
+	srcLines := make(map[string][][]byte)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d, errMsg := parseDirective(rest)
+				if errMsg != "" {
+					idx.bad = append(idx.bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "uflint",
+						Class:    "directive",
+						Message:  errMsg,
+					})
+					continue
+				}
+				d.ownLine = commentOwnsLine(srcLines, pos)
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]directive)
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+			}
+		}
+	}
+	return idx
+}
+
+func parseDirective(text string) (directive, string) {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return directive{}, "empty //uflint: directive"
+	}
+	d := directive{kind: fields[0]}
+	switch d.kind {
+	case "allow":
+		if len(fields) < 2 {
+			return directive{}, "//uflint:allow needs a class: //uflint:allow <class> — <reason>"
+		}
+		d.class = fields[1]
+		if !allowClasses[d.class] {
+			return directive{}, "//uflint:allow: unknown class " + d.class
+		}
+		d.reason = trimReason(fields[2:])
+		if d.reason == "" {
+			return directive{}, "//uflint:allow " + d.class + " needs a reason: //uflint:allow " + d.class + " — <reason>"
+		}
+	case "shared", "scratch":
+		d.reason = trimReason(fields[1:])
+	case "hotpath":
+		if len(fields) > 1 {
+			return directive{}, "//uflint:hotpath takes no arguments"
+		}
+	default:
+		return directive{}, "unknown //uflint: directive " + d.kind
+	}
+	return d, ""
+}
+
+// trimReason joins the remaining fields and strips a leading dash separator.
+func trimReason(fields []string) string {
+	s := strings.Join(fields, " ")
+	for _, sep := range []string{"—", "--", "-"} {
+		if rest, ok := strings.CutPrefix(s, sep); ok {
+			s = rest
+			break
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+// commentOwnsLine reports whether only whitespace precedes the comment at
+// pos on its source line, reading (and caching) the file as needed.
+func commentOwnsLine(cache map[string][][]byte, pos token.Position) bool {
+	lines, ok := cache[pos.Filename]
+	if !ok {
+		if data, err := os.ReadFile(pos.Filename); err == nil {
+			lines = bytes.Split(data, []byte("\n"))
+		}
+		cache[pos.Filename] = lines
+	}
+	if pos.Line < 1 || pos.Line > len(lines) {
+		return false
+	}
+	prefix := lines[pos.Line-1]
+	if n := pos.Column - 1; n >= 0 && n < len(prefix) {
+		prefix = prefix[:n]
+	}
+	return len(bytes.TrimSpace(prefix)) == 0
+}
+
+// allowedAt reports whether an //uflint:allow for class covers a finding at
+// file:line — written trailing on the finding's own line, or standing alone
+// on the line directly above. A trailing directive never bleeds onto the
+// next line: each suppression names exactly one statement.
+func (idx *directiveIndex) allowedAt(file string, line int, class string) bool {
+	lines := idx.byLine[file]
+	for _, d := range lines[line] {
+		if d.kind == "allow" && d.class == class {
+			return true
+		}
+	}
+	for _, d := range lines[line-1] {
+		if d.ownLine && d.kind == "allow" && d.class == class {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldMarkAt reports whether a //uflint:shared or //uflint:scratch covers
+// the field declared at file:line — trailing on the field's line, or alone
+// on the line above (the doc-comment position).
+func (idx *directiveIndex) fieldMarkAt(file string, line int) bool {
+	lines := idx.byLine[file]
+	for _, d := range lines[line] {
+		if d.kind == "shared" || d.kind == "scratch" {
+			return true
+		}
+	}
+	for _, d := range lines[line-1] {
+		if d.ownLine && (d.kind == "shared" || d.kind == "scratch") {
+			return true
+		}
+	}
+	return false
+}

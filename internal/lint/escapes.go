@@ -1,0 +1,328 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The allocfree analyzer is the escape gate behind `uflint -escapes`: it
+// compiles the module with -gcflags=-m, keeps the compiler's heap-escape
+// diagnostics that land inside functions annotated //uflint:hotpath, and
+// diffs them against a committed allowlist. A new escape on a pinned hot
+// path fails lint before the runtime AllocsPerRun pin ever runs; entries
+// are normalized to "<package>.<function>: <message>" (no line numbers) so
+// unrelated edits to a file do not churn the allowlist.
+
+// DefaultAllowFile is the committed escape allowlist, relative to the
+// module root.
+const DefaultAllowFile = "internal/lint/testdata/hotpath.allow"
+
+// hotFunc is one //uflint:hotpath-annotated function: a file range plus its
+// normalized display name.
+type hotFunc struct {
+	file      string // absolute path
+	startLine int
+	endLine   int
+	name      string // "uflip/internal/device.(*SimDevice).SubmitBatch"
+}
+
+// escape is one heap-escape diagnostic attributed to a hot-path function.
+type escape struct {
+	pos  string // file:line:col as printed by the compiler
+	key  string // normalized allowlist entry
+	name string // hot function name
+}
+
+// EscapeResult is the outcome of the escape gate.
+type EscapeResult struct {
+	// HotFuncs is the number of //uflint:hotpath functions found.
+	HotFuncs int
+	// New are escapes on hot paths that the allowlist does not cover, as
+	// "pos: key" strings; any entry here fails the gate.
+	New []string
+	// Stale are allowlist entries no longer produced by the compiler
+	// (warn-only: refactors shrink the list without failing lint).
+	Stale []string
+}
+
+// RunEscapes runs the allocfree escape gate over the packages matched by
+// patterns, using the allowlist at allowFile (resolved relative to dir).
+func RunEscapes(dir string, patterns []string, allowFile string) (*EscapeResult, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	hot, err := collectHotFuncs(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := escapeDiagnostics(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	escapes := attributeEscapes(hot, diags)
+
+	allowed, err := readAllowFile(dir, allowFile)
+	if err != nil {
+		return nil, err
+	}
+	res := &EscapeResult{HotFuncs: len(hot)}
+	seen := make(map[string]bool)
+	for _, e := range escapes {
+		seen[e.key] = true
+		if !allowed[e.key] {
+			res.New = append(res.New, e.pos+": "+e.key)
+		}
+	}
+	res.New = dedupSorted(res.New)
+	for key := range allowed {
+		if !seen[key] {
+			res.Stale = append(res.Stale, key)
+		}
+	}
+	sort.Strings(res.Stale)
+	return res, nil
+}
+
+// collectHotFuncs parses every module package matched by patterns (syntax
+// only) and returns the functions annotated //uflint:hotpath in their doc
+// comment or on the line directly above.
+func collectHotFuncs(dir string, patterns []string) ([]hotFunc, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Standard,Module", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var hot []hotFunc
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Standard || lp.Module == nil {
+			continue
+		}
+		for _, name := range lp.GoFiles {
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(lp.Dir, name)
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			hot = append(hot, hotFuncsInFile(fset, f, path, lp.ImportPath)...)
+		}
+	}
+	return hot, nil
+}
+
+func hotFuncsInFile(fset *token.FileSet, f *ast.File, path, pkgPath string) []hotFunc {
+	// Lines carrying a //uflint:hotpath comment.
+	hotLines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, directivePrefix); ok {
+				if fields := strings.Fields(rest); len(fields) > 0 && fields[0] == "hotpath" {
+					hotLines[fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+	}
+	if len(hotLines) == 0 {
+		return nil
+	}
+	var hot []hotFunc
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		start := fset.Position(fd.Pos()).Line
+		// The annotation may sit anywhere in the doc comment, or on the
+		// line directly above the func keyword when there is no doc.
+		annotated := hotLines[start-1]
+		if fd.Doc != nil {
+			for l := fset.Position(fd.Doc.Pos()).Line; l < start; l++ {
+				annotated = annotated || hotLines[l]
+			}
+		}
+		if !annotated {
+			continue
+		}
+		name := fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) == 1 {
+			name = recvTypeString(fd.Recv.List[0].Type) + "." + name
+		}
+		hot = append(hot, hotFunc{
+			file:      path,
+			startLine: start,
+			endLine:   fset.Position(fd.End()).Line,
+			name:      pkgPath + "." + name,
+		})
+	}
+	return hot
+}
+
+// recvTypeString renders a receiver type expression: *SimDevice ->
+// "(*SimDevice)", minHeap[T] -> "minHeap".
+func recvTypeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return "(*" + recvBase(t.X) + ")"
+	default:
+		return recvBase(e)
+	}
+}
+
+func recvBase(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvBase(t.X)
+	case *ast.IndexListExpr:
+		return recvBase(t.X)
+	default:
+		return "?"
+	}
+}
+
+// escapeDiagnostic is one parsed compiler -m line.
+type escapeDiagnostic struct {
+	file string // absolute
+	line int
+	col  int
+	msg  string
+}
+
+// escapeDiagnostics compiles the patterns with -gcflags=-m and returns the
+// heap-escape lines ("escapes to heap", "moved to heap"). The go build
+// cache replays compiler diagnostics, so warm runs are cheap.
+func escapeDiagnostics(dir string, patterns []string) ([]escapeDiagnostic, error) {
+	args := append([]string{"build", "-gcflags=-m", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+	base := dir
+	if base == "" {
+		base, _ = os.Getwd()
+	}
+	return parseEscapeOutput(out, base), nil
+}
+
+// parseEscapeOutput extracts heap-escape diagnostics from -gcflags=-m
+// compiler output; relative paths are resolved against dir.
+func parseEscapeOutput(out []byte, dir string) []escapeDiagnostic {
+	var diags []escapeDiagnostic
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") { // "# uflip/internal/ftl" package headers
+			continue
+		}
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// file.go:LINE:COL: message
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[1])
+		col, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		file := parts[0]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		diags = append(diags, escapeDiagnostic{
+			file: file,
+			line: ln,
+			col:  col,
+			msg:  strings.TrimSpace(parts[3]),
+		})
+	}
+	return diags
+}
+
+// attributeEscapes keeps the diagnostics that land inside a hot function and
+// normalizes them into allowlist entries.
+func attributeEscapes(hot []hotFunc, diags []escapeDiagnostic) []escape {
+	var out []escape
+	for _, d := range diags {
+		for _, h := range hot {
+			if d.file == h.file && d.line >= h.startLine && d.line <= h.endLine {
+				out = append(out, escape{
+					pos:  fmt.Sprintf("%s:%d:%d", d.file, d.line, d.col),
+					key:  h.name + ": " + d.msg,
+					name: h.name,
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// readAllowFile loads the allowlist: one entry per line, '#' comments and
+// blank lines ignored. A missing file is an empty allowlist.
+func readAllowFile(dir, path string) (map[string]bool, error) {
+	if path == "" {
+		path = DefaultAllowFile
+	}
+	if !filepath.IsAbs(path) && dir != "" {
+		path = filepath.Join(dir, path)
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]bool{}, nil
+	} else if err != nil {
+		return nil, err
+	}
+	allowed := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		allowed[line] = true
+	}
+	return allowed, nil
+}
+
+func dedupSorted(s []string) []string {
+	sort.Strings(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

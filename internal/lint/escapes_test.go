@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseEscapeOutput(t *testing.T) {
+	out := []byte(`# uflip/internal/device
+./sim.go:10:2: inlining call to checkIO
+./sim.go:134:11: &BatchError{...} escapes to heap
+/abs/util.go:22:14: x escapes to heap
+./util.go:40:6: moved to heap: buf
+garbage line without colons
+./bad.go:xx:2: y escapes to heap
+`)
+	got := parseEscapeOutput(out, "/root/mod")
+	want := []escapeDiagnostic{
+		{file: "/root/mod/sim.go", line: 134, col: 11, msg: "&BatchError{...} escapes to heap"},
+		{file: "/abs/util.go", line: 22, col: 14, msg: "x escapes to heap"},
+		{file: "/root/mod/util.go", line: 40, col: 6, msg: "moved to heap: buf"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseEscapeOutput:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestHotFuncsInFile(t *testing.T) {
+	src := `package p
+
+// Fast is pinned; the annotation sits inside the doc comment.
+//uflint:hotpath
+func (d *Dev) Fast() {}
+
+//uflint:hotpath
+func (h minHeap[T]) Push(x T) {}
+
+//uflint:hotpath
+func Free() {}
+
+// Slow is not pinned.
+func (d *Dev) Slow() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := hotFuncsInFile(fset, f, "p.go", "example.com/p")
+	var names []string
+	for _, h := range hot {
+		names = append(names, h.name)
+	}
+	want := []string{
+		"example.com/p.(*Dev).Fast",
+		"example.com/p.minHeap.Push",
+		"example.com/p.Free",
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("hot functions = %v, want %v", names, want)
+	}
+	for _, h := range hot {
+		if h.startLine <= 0 || h.endLine < h.startLine {
+			t.Errorf("%s: bad line range %d-%d", h.name, h.startLine, h.endLine)
+		}
+	}
+}
+
+func TestAttributeEscapes(t *testing.T) {
+	hot := []hotFunc{
+		{file: "a.go", startLine: 10, endLine: 20, name: "p.(*T).F"},
+	}
+	diags := []escapeDiagnostic{
+		{file: "a.go", line: 15, col: 3, msg: "x escapes to heap"}, // inside
+		{file: "a.go", line: 25, col: 3, msg: "y escapes to heap"}, // below the range
+		{file: "b.go", line: 15, col: 3, msg: "z escapes to heap"}, // other file
+	}
+	got := attributeEscapes(hot, diags)
+	if len(got) != 1 {
+		t.Fatalf("attributed %d escapes, want 1: %+v", len(got), got)
+	}
+	if got[0].key != "p.(*T).F: x escapes to heap" {
+		t.Errorf("key = %q", got[0].key)
+	}
+	if got[0].pos != "a.go:15:3" {
+		t.Errorf("pos = %q", got[0].pos)
+	}
+}
+
+func TestReadAllowFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "allow")
+	content := "# comment\n\np.F: x escapes to heap\n  p.G: y escapes to heap  \n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	allowed, err := readAllowFile("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"p.F: x escapes to heap": true,
+		"p.G: y escapes to heap": true,
+	}
+	if !reflect.DeepEqual(allowed, want) {
+		t.Errorf("readAllowFile = %v, want %v", allowed, want)
+	}
+
+	empty, err := readAllowFile(dir, "missing.allow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Errorf("missing allowlist should be empty, got %v", empty)
+	}
+}

@@ -1,0 +1,73 @@
+package lint
+
+import "testing"
+
+func TestIsSimulationPackage(t *testing.T) {
+	cases := []struct {
+		module, path string
+		want         bool
+	}{
+		{"uflip", "uflip/internal/flash", true},
+		{"uflip", "uflip/internal/ftl", true},
+		{"uflip", "uflip/internal/device", true},
+		{"uflip", "uflip/internal/engine", true},
+		{"uflip", "uflip/internal/trace", true},
+		{"uflip", "uflip/internal/ftl/sub", true},
+		{"uflip", "uflip/internal/server", false},
+		{"uflip", "uflip/internal/report", false},
+		{"uflip", "uflip/internal/lint", false},
+		{"uflip", "uflip/cmd/uflip", false},
+		{"uflip", "uflip", false},
+		{"uflip", "uflip/internal/ftlx", false},
+		{"other", "uflip/internal/ftl", false},
+	}
+	for _, c := range cases {
+		if got := IsSimulationPackage(c.module, c.path); got != c.want {
+			t.Errorf("IsSimulationPackage(%q, %q) = %v, want %v", c.module, c.path, got, c.want)
+		}
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text    string
+		kind    string
+		class   string
+		reason  string
+		wantErr bool
+	}{
+		{text: "allow wallclock — real device timing", kind: "allow", class: "wallclock", reason: "real device timing"},
+		{text: "allow maporder -- commutative", kind: "allow", class: "maporder", reason: "commutative"},
+		{text: "allow batcherr - probe", kind: "allow", class: "batcherr", reason: "probe"},
+		{text: "allow batchas plain words reason", kind: "allow", class: "batchas", reason: "plain words reason"},
+		{text: "allow mathrand — x", kind: "allow", class: "mathrand", reason: "x"},
+		{text: "allow wallclock", wantErr: true},        // reason required
+		{text: "allow wallclock —", wantErr: true},      // separator but no reason
+		{text: "allow bogus — whatever", wantErr: true}, /* unknown class */
+		{text: "allow", wantErr: true},
+		{text: "shared", kind: "shared"},
+		{text: "shared — immutable config", kind: "shared", reason: "immutable config"},
+		{text: "scratch — per-call buffer", kind: "scratch", reason: "per-call buffer"},
+		{text: "hotpath", kind: "hotpath"},
+		{text: "hotpath because fast", wantErr: true}, // takes no arguments
+		{text: "frobnicate", wantErr: true},
+		{text: "", wantErr: true},
+	}
+	for _, c := range cases {
+		d, errMsg := parseDirective(c.text)
+		if c.wantErr {
+			if errMsg == "" {
+				t.Errorf("parseDirective(%q) = %+v, want error", c.text, d)
+			}
+			continue
+		}
+		if errMsg != "" {
+			t.Errorf("parseDirective(%q): unexpected error %q", c.text, errMsg)
+			continue
+		}
+		if d.kind != c.kind || d.class != c.class || d.reason != c.reason {
+			t.Errorf("parseDirective(%q) = %+v, want kind=%q class=%q reason=%q",
+				c.text, d, c.kind, c.class, c.reason)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis. Test variants are
+// folded in when Config.Tests is set: the in-package test variant replaces
+// the plain package (its file list is the union), and external _test
+// packages appear as packages of their own.
+type Package struct {
+	// Path is the plain import path ("uflip/internal/ftl"), with any
+	// test-variant annotation (" [pkg.test]") stripped.
+	Path string
+	// Module is the module path the package belongs to ("uflip").
+	Module string
+	// Dir is the package directory on disk.
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the parsed sources, aligned with Filenames.
+	Files     []*ast.File
+	Filenames []string
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// Config controls Load.
+type Config struct {
+	// Dir is the working directory for the go tool; it must be inside the
+	// target module. Empty means the current directory.
+	Dir string
+	// Tests includes _test.go files (via go list -test variants).
+	Tests bool
+	// Env appends to the go tool's environment.
+	Env []string
+}
+
+// listPackage mirrors the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go tool (compiling export data as needed),
+// then parses and type-checks every matched module package from source,
+// resolving imports through the compiler's export data. It needs no network
+// and no dependencies outside the standard library.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-export", "-deps", "-json"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	cmd.Env = append(os.Environ(), cfg.Env...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string) // annotated import path -> export file
+	var entries []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		entries = append(entries, lp)
+	}
+
+	// Pick the entries to analyze: requested module packages, preferring the
+	// test-augmented variant of a package over the plain one when both are
+	// listed, and skipping the generated .test mains.
+	picked := make(map[string]*listPackage) // plain path -> entry
+	for _, lp := range entries {
+		if lp.Standard || lp.DepOnly || lp.Module == nil ||
+			len(lp.GoFiles) == 0 || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		base := basePath(lp.ImportPath)
+		if prev, ok := picked[base]; !ok || (prev.ForTest == "" && lp.ForTest != "") {
+			picked[base] = lp
+		}
+	}
+	paths := make([]string, 0, len(picked))
+	for p := range picked {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, path := range paths {
+		lp := picked[path]
+		pkg, err := typeCheck(fset, lp, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// basePath strips the test-variant annotation from an import path:
+// "p [q.test]" -> "p".
+func basePath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+func typeCheck(fset *token.FileSet, lp *listPackage, exports map[string]string) (*Package, error) {
+	pkg := &Package{
+		Path:   basePath(lp.ImportPath),
+		Module: lp.Module.Path,
+		Dir:    lp.Dir,
+		Fset:   fset,
+	}
+	for _, name := range lp.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, name)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, pkg.Info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v (and %d more)", pkg.Path, typeErrs[0], len(typeErrs)-1)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

@@ -1,0 +1,47 @@
+// Package cloneguard is the golden fixture of the cloneguard analyzer:
+// the added-but-not-cloned field class it exists to catch, the two
+// annotation escape hatches, and the whole-struct-copy exemption.
+package cloneguard
+
+// tracker has a Clone that forgets a field: the exact bug class the
+// analyzer pins at declaration time.
+type tracker struct {
+	ops    int64
+	missed []int // want `field missed is not referenced in \(\*tracker\)\.Clone`
+	seed   int64 //uflint:shared — immutable config, deliberately aliased
+	buf    []int //uflint:scratch — dead between calls
+}
+
+// Clone copies ops but forgets missed.
+func (t *tracker) Clone() *tracker {
+	return &tracker{ops: t.ops}
+}
+
+// book snapshots with a whole-struct copy, which references every field
+// at once; only the map needs (and gets) a deep fix-up.
+type book struct {
+	pages map[int]string
+	dirty bool
+}
+
+// Snapshot deep-copies via *b.
+func (b *book) Snapshot() *book {
+	g := *b
+	pages := make(map[int]string, len(g.pages))
+	for k, v := range g.pages {
+		pages[k] = v
+	}
+	g.pages = pages
+	return &g
+}
+
+// gauge has a Restore that forgets the high-water mark.
+type gauge struct {
+	level int
+	high  int // want `field high is not referenced in \(\*gauge\)\.Restore`
+}
+
+// Restore rewinds level but not high.
+func (g *gauge) Restore(level int) {
+	g.level = level
+}

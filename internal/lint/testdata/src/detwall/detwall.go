@@ -1,0 +1,131 @@
+// Package detwall is the golden fixture of the detwall analyzer. Each
+// line expected to be reported carries a `// want` comment with a regexp
+// the diagnostic must match; lines without one must stay silent.
+package detwall
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock exercises the wall-clock checks.
+func Clock() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(start)     // want `time\.Since reads the wall clock`
+}
+
+// AllowedClock is suppressed by the escape hatch.
+func AllowedClock() time.Time {
+	return time.Now() //uflint:allow wallclock — fixture exercises the escape hatch
+}
+
+// AllowedAbove is suppressed by an annotation on the line above.
+func AllowedAbove() time.Time {
+	//uflint:allow wallclock — the annotation may also sit on its own line
+	return time.Now()
+}
+
+// Bleed pins that a trailing allow covers only its own line.
+func Bleed() (time.Time, time.Time) {
+	a := time.Now() //uflint:allow wallclock — fixture: a trailing allow names exactly one statement
+	b := time.Now() // want `time\.Now reads the wall clock`
+	return a, b
+}
+
+// Draw exercises the math/rand checks: globals are flagged, seeded
+// sources and their methods are not.
+func Draw() (int, float64) {
+	r := rand.New(rand.NewSource(1))
+	return rand.Intn(10), r.Float64() // want `rand\.Intn draws from the global source`
+}
+
+// Sum is commutative integer aggregation: exempt.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Mean accumulates floats, where addition order changes the rounding.
+func Mean(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `write to sum inside range over map`
+	}
+	return sum / float64(len(m))
+}
+
+// Keys appends in map order.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map`
+	}
+	return keys
+}
+
+// Copy writes one keyed slot per iteration: exempt.
+func Copy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Last keeps whichever key happens to iterate last.
+func Last(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want `write to last inside range over map`
+	}
+	return last
+}
+
+// First returns a map-order-dependent entry.
+func First(m map[string]int) string {
+	for k := range m {
+		return k // want `return of a value derived from the loop variables`
+	}
+	return ""
+}
+
+// Leak ranges into an outer variable, leaving a random key behind.
+func Leak(m map[string]int) string {
+	var k string
+	for k = range m { // want `range over map assigns outer variable k`
+		_ = m[k]
+	}
+	return k
+}
+
+// Publish sends in map order.
+func Publish(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+// Explode panics with whichever bad entry iterates first.
+func Explode(m map[string]int) {
+	for k, v := range m {
+		if v < 0 {
+			panic(k) // want `panic message derived from the loop variables`
+		}
+	}
+}
+
+// Min selection under a strict total order is order-independent; the
+// annotation records that.
+func Min(m map[string]int) string {
+	best := ""
+	for k := range m {
+		if best == "" || k < best {
+			best = k //uflint:allow maporder — min-selection under a strict total order is order-independent
+		}
+	}
+	return best
+}

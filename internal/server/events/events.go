@@ -19,8 +19,8 @@ import (
 type Log struct {
 	mu     sync.Mutex
 	events []api.Event
-	closed bool
-	wake   chan struct{} // closed and replaced on every append/Close
+	closed bool          //uflint:scratch — the reloader re-derives it from the persisted job status
+	wake   chan struct{} //uflint:scratch — sync primitive; closed and replaced on every append/Close
 }
 
 // NewLog returns an empty open log.

@@ -213,6 +213,8 @@ func (s *Scanner) Count() int { return s.count }
 
 // Scan advances to the next record. It returns false at the end of the
 // trace or on the first error; Err tells the two apart.
+//
+//uflint:hotpath
 func (s *Scanner) Scan() bool {
 	if s.done || s.err != nil {
 		return false
